@@ -1,0 +1,26 @@
+"""E13 (extension): ready-queue disciplines for static space-sharing.
+
+Given an adversarial (largest-first) arrival order, an informed SJF
+discipline recovers the paper's best-case ordering, LJF pins the worst
+case, and plain FCFS sits wherever the arrivals put it.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import queue_discipline
+from repro.experiments.report import format_ablation
+
+
+def test_queue_discipline(benchmark):
+    rows, columns = run_once(benchmark, queue_discipline)
+    print()
+    print(format_ablation(rows, columns, title="E13: queue discipline"))
+
+    by = {r["discipline"]: r for r in rows}
+    # SJF strictly beats LJF on mean response.
+    assert by["sjf"]["mean_rt"] < by["ljf"]["mean_rt"]
+    # With largest-first arrivals, FCFS equals LJF (same dispatch order).
+    assert by["fcfs"]["mean_rt"] >= by["sjf"]["mean_rt"]
+    # SJF trades mean for tail: its max response is never better than
+    # LJF's (the large jobs go last).
+    assert by["sjf"]["max_rt"] >= by["ljf"]["max_rt"] * 0.99

@@ -1,0 +1,28 @@
+"""E12 (extension): gang scheduling vs the paper's hybrid policy.
+
+For the paper's fork-join matmul — one scatter, independent compute,
+one gather — co-scheduling buys little (there is no mid-computation
+rendezvous to accelerate), while slot-granular context switching adds
+fill/drain idle time: the hybrid policy should win, with gang's penalty
+growing with the slot length.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import gang_vs_hybrid
+from repro.experiments.report import format_ablation
+
+
+def test_gang_vs_hybrid(benchmark):
+    rows, columns = run_once(benchmark, gang_vs_hybrid)
+    print()
+    print(format_ablation(rows, columns, title="E12: gang vs hybrid"))
+
+    hybrid = next(r for r in rows if r["policy"] == "hybrid")
+    gangs = [r for r in rows if r["policy"].startswith("gang")]
+    # All gang variants complete the same batch, within 2x of hybrid.
+    for row in gangs:
+        assert row["mean_rt"] < 2 * hybrid["mean_rt"]
+    # For a fork-join workload co-scheduling does not beat quantum-level
+    # sharing (no rendezvous to win back the slot overhead).
+    assert min(r["mean_rt"] for r in gangs) >= 0.95 * hybrid["mean_rt"]

@@ -1,0 +1,23 @@
+"""E11 (extension): the front-end host interface.
+
+With host modelling enabled, a time-shared batch loads all 16 jobs'
+program images and input data through the single host link at t=0; the
+static policy spreads loading over the run.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import host_interface_effect
+from repro.experiments.report import format_ablation
+
+
+def test_host_interface_effect(benchmark):
+    rows, columns = run_once(benchmark, host_interface_effect)
+    print()
+    print(format_ablation(rows, columns, title="E11: host interface"))
+
+    off = next(r for r in rows if r["model_host"] == "False")
+    on = next(r for r in rows if r["model_host"] == "True")
+    # Loading is a real cost: both policies slow down when modelled.
+    assert on["static"] > off["static"]
+    assert on["timesharing"] > off["timesharing"]

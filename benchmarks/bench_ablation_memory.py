@@ -1,0 +1,32 @@
+"""E7: node memory size and time-sharing's behaviour.
+
+Scarce memory throttles the effective multiprogramming level, pushing
+time-sharing toward static's serial behaviour (and response time);
+abundant memory exposes the full multiprogramming contention and the
+curves saturate.  Static space-sharing is insensitive throughout.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import memory_sensitivity
+from repro.experiments.report import format_ablation
+
+
+def test_memory_sensitivity(benchmark):
+    rows, columns = run_once(benchmark, memory_sensitivity)
+    print()
+    print(format_ablation(rows, columns, title="E7: memory-size sweep"))
+
+    by_mb = {r["memory_mb"]: r for r in rows}
+    statics = [r["static"] for r in rows]
+    # Static: one resident job per partition => memory-insensitive.
+    assert max(statics) - min(statics) < 0.02 * min(statics)
+    # Scarce memory throttles the MPL: time-sharing converges toward
+    # static's serial behaviour.
+    assert abs(by_mb[3.0]["timesharing"] - by_mb[3.0]["static"]) < (
+        0.15 * by_mb[3.0]["static"]
+    )
+    # Abundant memory exposes the full multiprogramming contention...
+    assert by_mb[8.0]["timesharing"] > by_mb[3.0]["timesharing"]
+    # ...and saturates once the whole batch fits.
+    assert by_mb[8.0]["timesharing"] == by_mb[6.0]["timesharing"]

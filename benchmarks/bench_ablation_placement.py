@@ -1,0 +1,26 @@
+"""E10 (extension): aligned vs staggered process placement.
+
+The natural implementation maps every job's process i to partition
+processor i; under time-sharing all coordinators then stack on the
+first node (memory + link hotspot).  Staggering placements spreads the
+load and shows how much of the time-sharing penalty is placement.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import placement_sensitivity
+from repro.experiments.report import format_ablation
+
+
+def test_placement_sensitivity(benchmark):
+    rows, columns = run_once(benchmark, placement_sensitivity)
+    print()
+    print(format_ablation(rows, columns, title="E10: placement"))
+
+    aligned = next(r for r in rows if r["placement"] == "aligned")
+    staggered = next(r for r in rows if r["placement"] == "staggered")
+    # Spreading coordinators relieves the hotspot.
+    assert staggered["mean_rt"] <= aligned["mean_rt"]
+    print(f"staggering saves "
+          f"{(1 - staggered['mean_rt'] / aligned['mean_rt']):.1%} "
+          "of the time-shared mean response time")

@@ -1,0 +1,28 @@
+"""E9: basic-quantum sweep (Section 3.1 hardware mechanism).
+
+Smaller quanta cost more dispatches; once the RR-job rule fixes power
+shares, the quantum itself is second-order for mean response time.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import quantum_sensitivity
+from repro.experiments.report import format_ablation
+
+
+def test_quantum_sensitivity(benchmark):
+    rows, columns = run_once(benchmark, quantum_sensitivity)
+    print()
+    print(format_ablation(rows, columns, title="E9: quantum sweep"))
+
+    by_q = {r["quantum_ms"]: r for r in rows}
+    quanta = sorted(by_q)
+    # Dispatch counts fall as the quantum grows.  (A large share of
+    # dispatches is high-priority communication software, which the
+    # quantum cannot touch, so the drop is moderate.)
+    fewest = min(r["dispatches"] for r in rows)
+    assert by_q[quanta[0]]["dispatches"] > 1.15 * fewest
+    # Mean response time is a second-order function of the quantum:
+    # the spread across two orders of magnitude stays within ~15%.
+    means = [r["mean_rt"] for r in rows]
+    assert max(means) / min(means) < 1.15

@@ -1,0 +1,28 @@
+"""E15 (extension): Valiant randomised routing — a negative result.
+
+Valiant's two-phase detours diffuse hotspot traffic, but on a
+store-and-forward software network every extra hop costs a full memory
+copy at the intermediate node: with ~2x the hop count, the diffusion
+never pays for itself here.  (It pays on hardware-switched networks —
+see the wormhole ablation for the switch-level analogue.)
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import routing_strategies
+from repro.experiments.report import format_ablation
+
+
+def test_routing_strategies(benchmark):
+    rows, columns = run_once(benchmark, routing_strategies)
+    print()
+    print(format_ablation(rows, columns, title="E15: routing strategies"))
+
+    auto = next(r for r in rows if r["routing"] == "auto")
+    valiant = next(r for r in rows if r["routing"] == "valiant")
+    # The documented negative result: the copy cost of doubled hop
+    # counts outweighs the diffusion benefit under store-and-forward.
+    assert valiant["static"] > auto["static"]
+    assert valiant["timesharing"] > auto["timesharing"]
+    # But it stays within the 2x bound the doubled path length implies.
+    assert valiant["timesharing"] < 2.2 * auto["timesharing"]

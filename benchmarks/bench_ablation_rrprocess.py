@@ -1,0 +1,25 @@
+"""E8: RR-process vs RR-job fairness (Section 2.2).
+
+Two equal-demand jobs — one with 16 processes, one with 4 — share the
+machine.  Under the RR-job quantum rule Q = (P/T) q both receive equal
+processing power and finish together; under a fixed per-process quantum
+the 16-process job receives 4x the power and finishes far earlier.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import rr_process_unfairness
+from repro.experiments.report import format_ablation
+
+
+def test_rr_process_unfairness(benchmark):
+    rows, columns = run_once(benchmark, rr_process_unfairness)
+    print()
+    print(format_ablation(rows, columns, title="E8: quantum-rule fairness"))
+
+    rr_job = next(r for r in rows if r["policy"] == "rr-job")
+    rr_proc = next(r for r in rows if r["policy"] == "rr-process")
+    # RR-job: equal power, near-simultaneous completion.
+    assert abs(rr_job["few/many"] - 1.0) < 0.15
+    # RR-process: the process-rich job finishes much earlier.
+    assert rr_proc["few/many"] > rr_job["few/many"] + 0.3

@@ -1,0 +1,27 @@
+"""E14 (extension): binomial-tree B distribution for matmul.
+
+The paper's flat distribution serialises ~T·n² bytes at the
+coordinator; a tree relay cuts that to O(log T) copies.  Both policies
+speed up, and — because the hotspot hits the multiprogrammed case
+hardest — the TS/static gap collapses, confirming the congestion
+explanation of Figures 3/4.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import tree_distribution
+from repro.experiments.report import format_ablation
+
+
+def test_tree_distribution(benchmark):
+    rows, columns = run_once(benchmark, tree_distribution)
+    print()
+    print(format_ablation(rows, columns, title="E14: B distribution"))
+
+    flat = next(r for r in rows if r["distribution"] == "flat")
+    tree = next(r for r in rows if r["distribution"] == "tree")
+    # The tree relay speeds up both policies...
+    assert tree["static"] < flat["static"]
+    assert tree["timesharing"] < flat["timesharing"]
+    # ...and shrinks time-sharing's relative penalty.
+    assert tree["ts/static"] < flat["ts/static"]

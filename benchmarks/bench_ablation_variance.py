@@ -1,0 +1,25 @@
+"""E5: the service-demand variance crossover (Section 5.2 / TR-97-1).
+
+Static space-sharing wins at low-to-moderate variance; time-sharing
+wins at high variance.  The crossover must appear inside the swept
+range.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import variance_crossover
+from repro.experiments.report import format_ablation
+
+
+def test_variance_crossover(benchmark):
+    rows, columns = run_once(benchmark, variance_crossover)
+    print()
+    print(format_ablation(rows, columns, title="E5: variance crossover"))
+
+    low = rows[0]   # deterministic demands
+    high = rows[-1]  # CV = 4
+    assert low["ts/static"] > 1.0, "static must win at low variance"
+    assert high["ts/static"] < 1.0, "time-sharing must win at high variance"
+    # Monotone-ish trend: the ratio at the top is below the ratio at the
+    # bottom by a wide margin.
+    assert high["ts/static"] < 0.8 * low["ts/static"]

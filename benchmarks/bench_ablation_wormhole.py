@@ -1,0 +1,25 @@
+"""E6: store-and-forward vs wormhole switching (Section 5.2 prediction).
+
+Wormhole switching eliminates intermediate transit buffers and per-hop
+memory copies; the paper predicts lower cost and reduced topology
+sensitivity.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import wormhole_vs_store_forward
+from repro.experiments.report import format_ablation
+
+
+def test_wormhole_vs_store_forward(benchmark):
+    rows, columns = run_once(benchmark, wormhole_vs_store_forward)
+    print()
+    print(format_ablation(rows, columns, title="E6: switching comparison"))
+
+    sf = next(r for r in rows if r["switching"] == "store_forward")
+    wh = next(r for r in rows if r["switching"] == "wormhole")
+    # Wormhole is faster on every topology...
+    for topo in ("linear", "mesh"):
+        assert wh[topo] < sf[topo]
+    # ...and the absolute topology gap shrinks.
+    assert wh["gap"] < sf["gap"]

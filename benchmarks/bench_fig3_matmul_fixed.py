@@ -1,0 +1,29 @@
+"""E1 / Figure 3: matrix multiplication, fixed software architecture.
+
+Regenerates the static vs time-sharing/hybrid series over the partition
+size x topology grid and checks the paper's shape: static space-sharing
+wins, with the largest fixed-architecture gap around two partitions.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure_spec, format_grid, run_figure
+
+
+def test_figure3_matmul_fixed(benchmark, scale):
+    spec = figure_spec(3)
+    cells = run_once(benchmark, run_figure, spec, scale)
+    print()
+    print(format_grid(cells, title=f"Figure 3 [{scale.name} scale]"))
+
+    static = {c.label: c.mean_response_time for c in cells
+              if c.policy == "static"}
+    ts = {c.label: c.mean_response_time for c in cells
+          if c.policy == "timesharing"}
+    ratios = {lbl: ts[lbl] / static[lbl] for lbl in static}
+    wins = sum(1 for r in ratios.values() if r > 1.0)
+    print(f"static wins {wins}/{len(ratios)} grid points; "
+          f"worst TS penalty {max(ratios.values()):.2f}x "
+          f"at {max(ratios, key=ratios.get)}")
+    # Paper shape: time-sharing worse than static almost everywhere.
+    assert wins >= 0.7 * len(ratios)

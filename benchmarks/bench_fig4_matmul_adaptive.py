@@ -1,0 +1,39 @@
+"""E2 / Figure 4: matrix multiplication, adaptive software architecture.
+
+Checks, beyond the static-vs-TS ordering, the paper's two
+architecture observations: (a) the adaptive architecture beats the
+fixed one for matmul on small partitions, and (b) the two coincide at a
+single 16-node partition.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure_spec, format_grid, run_figure
+
+
+def test_figure4_matmul_adaptive(benchmark, scale):
+    spec = figure_spec(4)
+    cells = run_once(benchmark, run_figure, spec, scale)
+    print()
+    print(format_grid(cells, title=f"Figure 4 [{scale.name} scale]"))
+
+    # (b) fixed == adaptive at one 16-node partition (same layout).
+    fixed_cells = run_figure(figure_spec(3), scale)
+    adaptive_16 = [c for c in cells
+                   if c.partition_size == 16 and c.policy == "static"]
+    fixed_16 = {(c.label): c.mean_response_time for c in fixed_cells
+                if c.partition_size == 16 and c.policy == "static"}
+    for cell in adaptive_16:
+        assert abs(cell.mean_response_time - fixed_16[cell.label]) < (
+            0.02 * fixed_16[cell.label]
+        )
+
+    # (a) adaptive cheaper than fixed on the smallest multi-node grid
+    # point (fewer processes => fewer messages, copies, buffers).
+    small_p = min(p for p in scale.partition_sizes if p > 1)
+    a = next(c.mean_response_time for c in cells
+             if c.partition_size == small_p and c.policy == "static")
+    f = next(c.mean_response_time for c in fixed_cells
+             if c.partition_size == small_p and c.policy == "static")
+    print(f"fixed/adaptive at p={small_p}: {f / a:.2f}x")
+    assert a < f

@@ -1,0 +1,38 @@
+"""E4 / Figure 6: sort, adaptive software architecture.
+
+Beyond the grid itself, checks the paper's sort-specific headline
+(Section 5.3): the fixed architecture's 16 small sub-arrays make the
+quadratic selection-sort phase dramatically cheaper, so the fixed
+architecture beats the adaptive one by a wide margin on small
+partitions — the opposite of matmul.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure_spec, format_grid, run_figure
+
+
+def test_figure6_sort_adaptive(benchmark, scale):
+    spec = figure_spec(6)
+    cells = run_once(benchmark, run_figure, spec, scale)
+    print()
+    print(format_grid(cells, title=f"Figure 6 [{scale.name} scale]"))
+
+    fixed_cells = run_figure(figure_spec(5), scale)
+
+    def static_at(cells_, p):
+        return next(c.mean_response_time for c in cells_
+                    if c.partition_size == p and c.policy == "static")
+
+    p_small = min(scale.partition_sizes)
+    adaptive = static_at(cells, p_small)
+    fixed = static_at(fixed_cells, p_small)
+    print(f"adaptive/fixed at p={p_small}: {adaptive / fixed:.1f}x "
+          "(paper: 'the fixed architecture exhibits substantial speedups')")
+    assert adaptive / fixed > 3
+
+    # And the two architectures converge as the partition grows toward
+    # the machine (process counts converge to 16).
+    p_big = max(scale.partition_sizes)
+    ratio_big = static_at(cells, p_big) / static_at(fixed_cells, p_big)
+    assert ratio_big < adaptive / fixed

@@ -1,0 +1,53 @@
+"""Micro-benchmarks of the simulation substrate itself.
+
+Not a paper artefact — these track the event-processing throughput of
+the DES kernel and the cost of a full system build, so performance
+regressions in the substrate are visible independently of the
+experiment harness.
+"""
+
+from repro.core import MulticomputerSystem, SystemConfig, TimeSharing
+from repro.sim import Environment
+from repro.workload import standard_batch
+
+
+def test_kernel_event_throughput(benchmark):
+    """Ping-pong timeouts: raw events per second of the kernel."""
+
+    def run():
+        env = Environment()
+
+        def ticker(env):
+            for _ in range(20_000):
+                yield env.timeout(1)
+
+        env.process(ticker(env))
+        env.run()
+        return env.events_processed
+
+    events = benchmark(run)
+    assert events >= 20_000
+
+
+def test_system_build_cost(benchmark):
+    """Time to assemble 16 nodes + partitions + schedulers."""
+
+    def build():
+        cfg = SystemConfig(num_nodes=16, topology="mesh")
+        return MulticomputerSystem(cfg, TimeSharing()).build()
+
+    system = benchmark(build)
+    assert len(system.nodes) == 16
+
+
+def test_small_batch_simulation_cost(benchmark):
+    """A complete miniature batch: end-to-end simulator throughput."""
+    batch = standard_batch("matmul", num_small=3, num_large=1,
+                           small_size=24, large_size=48)
+
+    def run():
+        cfg = SystemConfig(num_nodes=16, topology="mesh")
+        return MulticomputerSystem(cfg, TimeSharing()).run_batch(batch)
+
+    result = benchmark(run)
+    assert result.mean_response_time > 0

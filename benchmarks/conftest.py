@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures and
+prints the reproduced series (run pytest with ``-s`` to see them).
+
+Scale control:
+    REPRO_BENCH_SCALE=paper  — the paper's full problem sizes (minutes)
+    REPRO_BENCH_SCALE=smoke  — reduced sizes, same shapes (default)
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.experiments import ExperimentScale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    name = os.environ.get("REPRO_BENCH_SCALE", "smoke")
+    if name == "paper":
+        return ExperimentScale.paper()
+    return ExperimentScale.smoke()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a whole-experiment benchmark exactly once (no warmup loops —
+    each run is a complete deterministic simulation campaign)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

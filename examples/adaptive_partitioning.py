@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Space-sharing refinements: queue disciplines and (semi-)dynamic sizing.
+
+The paper's Section 2.1 taxonomy — static / semi-static / dynamic
+space-sharing, plus job-characteristic-aware queueing — in one runnable
+comparison:
+
+1. queue disciplines: FCFS under adversarial arrivals vs informed SJF
+   and LJF (the paper's best/worst orderings, made into policies);
+2. semi-static: partition size re-chosen per batch;
+3. dynamic: partition size chosen per dispatch from the current load.
+
+Run:  python examples/adaptive_partitioning.py
+"""
+
+from repro.core import (
+    DynamicSpaceSharing,
+    MulticomputerSystem,
+    SemiStaticSpaceSharing,
+    StaticSpaceSharing,
+    SystemConfig,
+)
+from repro.trace import render_bars
+from repro.workload import standard_batch
+
+
+def config():
+    return SystemConfig(num_nodes=16, topology="mesh")
+
+
+def main():
+    print("=== 1. Queue disciplines (adversarial largest-first arrivals)\n")
+    adversarial = standard_batch("matmul", architecture="adaptive").ordered(
+        "worst"
+    )
+    means = {}
+    for discipline in ("fcfs", "sjf", "ljf"):
+        policy = StaticSpaceSharing(4, discipline=discipline)
+        result = MulticomputerSystem(config(), policy).run_batch(adversarial)
+        means[discipline] = result.mean_response_time
+    print(render_bars(means, unit="s"))
+    print("SJF recovers the paper's best-case ordering no matter how jobs")
+    print("arrive; FCFS on largest-first arrivals IS the worst case.\n")
+
+    print("=== 2. Semi-static: repartition between batches\n")
+    lone = standard_batch("matmul", architecture="adaptive",
+                          num_small=0, num_large=2)
+    crowd = standard_batch("matmul", architecture="adaptive",
+                           num_small=12, num_large=0)
+    means = {}
+    for name, policy in (
+        ("fixed p=2", StaticSpaceSharing(2)),
+        ("fixed p=8", StaticSpaceSharing(8)),
+        ("semi-static", SemiStaticSpaceSharing()),
+    ):
+        system = MulticomputerSystem(config(), policy)
+        results = system.run_batches([lone, crowd])
+        times = [t for r in results for t in r.response_times]
+        means[name] = sum(times) / len(times)
+    print(render_bars(means, unit="s"))
+    print("A 2-job batch wants big partitions; a 12-job batch wants small")
+    print("ones.  Semi-static picks per batch and beats both fixed sizes.\n")
+
+    print("=== 3. Dynamic: size per dispatch from the current load\n")
+    batch = standard_batch("matmul", architecture="adaptive")
+    means = {}
+    for name, policy in (
+        ("static p=4", StaticSpaceSharing(4)),
+        ("dynamic", DynamicSpaceSharing()),
+        ("dynamic cap=4", DynamicSpaceSharing(max_partition=4)),
+    ):
+        result = MulticomputerSystem(config(), policy).run_batch(batch)
+        means[name] = result.mean_response_time
+    print(render_bars(means, unit="s"))
+    print("Uncapped dynamic sizing hands the last stragglers the whole")
+    print("machine — past matmul's efficiency break-even (see")
+    print("examples/speedup_curves.py), big partitions are mostly")
+    print("communication, so the stragglers get *slower*.  Capping the")
+    print("partition near the break-even closes most of the gap —")
+    print("knowing the application's speedup curve is what the dynamic")
+    print("policies of Dussa et al. and Rosti et al. are really about.")
+
+
+if __name__ == "__main__":
+    main()

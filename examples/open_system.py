@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Open-system extension: jobs arrive over time instead of as a batch.
+
+The paper evaluates closed 16-job batches; production machines see a
+*stream* of arriving jobs.  This example drives a simulated 4-node
+slice of the machine with a Poisson arrival stream of fork-join jobs,
+sweeps the offered load, and compares static space-sharing (one job per
+single-processor partition — an M/M/4 queue, validated against the
+Erlang-C formula) with pure time-sharing (processor sharing).
+
+Run:  python examples/open_system.py
+"""
+
+import numpy as np
+
+from repro.analysis import mmc_mean_response
+from repro.core import (
+    MulticomputerSystem,
+    StaticSpaceSharing,
+    SystemConfig,
+    TimeSharing,
+)
+from repro.trace import render_series
+from repro.workload import JobSpec, SyntheticForkJoin, poisson_arrivals
+
+NODES = 4
+MEAN_OPS = 1.65e5         # 0.5 s of service at the default 3.3e5 ops/s
+SERVICE_RATE = 3.3e5 / MEAN_OPS
+DURATION = 80.0
+
+
+def spec_factory(rng):
+    ops = max(float(rng.exponential(MEAN_OPS)), 1.0)
+    return JobSpec(
+        SyntheticForkJoin(ops, architecture="adaptive", message_bytes=64),
+        "exp",
+    )
+
+
+def run(policy, rate, seed):
+    rng = np.random.default_rng(seed)
+    arrivals = poisson_arrivals(rate, DURATION, spec_factory, rng)
+    config = SystemConfig(num_nodes=NODES, topology="mesh")
+    system = MulticomputerSystem(config, policy)
+    result = system.run_open(arrivals)
+    return result.mean_response_time
+
+
+def main():
+    series = {f"static ({NODES}x1)": {}, "time-sharing": {},
+              f"M/M/{NODES} theory": {}}
+    print(f"Poisson arrivals of exponential fork-join jobs on {NODES} nodes"
+          f" (mean service {MEAN_OPS / 3.3e5:.2f}s on one processor)\n")
+    for rho in (0.3, 0.5, 0.7, 0.85):
+        rate = rho * NODES * SERVICE_RATE
+        label = f"rho={rho:g}"
+        series[f"static ({NODES}x1)"][label] = run(
+            StaticSpaceSharing(1), rate, seed=7)
+        series["time-sharing"][label] = run(TimeSharing(), rate, seed=7)
+        series[f"M/M/{NODES} theory"][label] = mmc_mean_response(
+            rate, SERVICE_RATE, NODES)
+    print(render_series(series))
+    print(f"Static with {NODES} single-processor partitions is an "
+          f"M/M/{NODES} queue — the simulation tracks Erlang C.")
+    print("Time-sharing wins twice over here: each adaptive job spreads")
+    print("over the whole machine (a ~4x speedup when the system is")
+    print("lightly loaded), and at high load processor sharing keeps")
+    print("small jobs from queueing behind large ones (CV = 1 demands).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Single-job speedup curves: why the paper's partition sizes matter.
+
+Static space-sharing at partition size p serves every job with the
+machine's single-job speedup S(p).  This example measures S(p) and the
+parallel efficiency E(p) for the paper's two applications (plus the
+butterfly extension) across topologies, and reports the break-even
+partition size — the largest p that still keeps efficiency above 50%,
+beyond which serial execution on half the machine would win.
+
+Run:  python examples/speedup_curves.py
+"""
+
+from repro.experiments import crossover_partition_size, speedup_curve
+from repro.experiments.report import format_ablation
+from repro.workload import (
+    ButterflyApplication,
+    MatMulApplication,
+    SortApplication,
+)
+
+
+APPS = {
+    "matmul(110) adaptive": lambda p: MatMulApplication(
+        110, architecture="adaptive"),
+    "sort(14000) adaptive": lambda p: SortApplication(
+        14_000, architecture="adaptive"),
+    "butterfly(16384)": lambda p: ButterflyApplication(
+        16_384, architecture="adaptive"),
+}
+
+
+def main():
+    for topology in ("linear", "hypercube"):
+        print(f"=== Topology: {topology}\n")
+        for name, factory in APPS.items():
+            sizes = (1, 2, 4, 8) if topology == "hypercube" else (1, 2, 4, 8, 16)
+            rows, columns = speedup_curve(factory, partition_sizes=sizes,
+                                          topology=topology)
+            print(format_ablation(rows, columns, title=name))
+            breakeven = crossover_partition_size(rows)
+            print(f"  break-even partition size (efficiency >= 50%): "
+                  f"{breakeven}\n")
+    print("Sort's quadratic worker phase gives it superlinear speedup in")
+    print("the adaptive architecture (more processes = less total work!),")
+    print("matmul saturates as the coordinator's distribution serialises,")
+    print("and the butterfly depends on the topology matching its")
+    print("exchange pattern.")
+
+
+if __name__ == "__main__":
+    main()

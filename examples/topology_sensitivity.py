@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Topology and switching sensitivity of the scheduling policies.
+
+The paper observes that time-sharing is hurt most by low-degree,
+long-diameter networks (the linear array) because store-and-forward
+switching multiplies buffer and copy demands at intermediate nodes, and
+predicts (Section 5.2) that wormhole routing would remove most of that
+cost.  This example measures both claims:
+
+1. mean response time per topology for static vs pure time-sharing;
+2. the same comparison with the network switched to wormhole mode.
+
+Run:  python examples/topology_sensitivity.py
+"""
+
+from repro.core import (
+    MulticomputerSystem,
+    StaticSpaceSharing,
+    SystemConfig,
+    TimeSharing,
+)
+from repro.experiments.runner import run_static_averaged
+from repro.trace import render_series
+from repro.workload import standard_batch
+
+
+def sweep(batch, switching):
+    series = {"static": {}, "timesharing": {}}
+    for topo in ("linear", "ring", "mesh"):
+        config = SystemConfig(num_nodes=16, topology=topo,
+                              switching=switching)
+        static_rt, _, _ = run_static_averaged(config, 16, batch)
+        ts = MulticomputerSystem(config, TimeSharing()).run_batch(batch)
+        label = f"16{topo[0].upper()}"
+        series["static"][label] = static_rt
+        series["timesharing"][label] = ts.mean_response_time
+    return series
+
+
+def main():
+    batch = standard_batch("matmul", architecture="fixed")
+
+    print("=== Store-and-forward switching (the real 1997 hardware)\n")
+    sf = sweep(batch, "store_forward")
+    print(render_series(sf))
+    ts = sf["timesharing"]
+    print(f"time-sharing linear-array penalty vs best topology: "
+          f"{max(ts.values()) / min(ts.values()):.2f}x\n")
+
+    print("=== Wormhole switching (the paper's Section 5.2 prediction)\n")
+    wh = sweep(batch, "wormhole")
+    print(render_series(wh))
+    tw = wh["timesharing"]
+    print(f"time-sharing linear-array penalty vs best topology: "
+          f"{max(tw.values()) / min(tw.values()):.2f}x")
+    speedup = min(ts.values()) / min(tw.values())
+    print(f"\nWormhole switching needs no transit buffers and no per-hop")
+    print(f"memory copies: everything gets ~{speedup:.1f}x faster outright")
+    print("and the store-and-forward buffer demand disappears entirely.")
+    print("Distance sensitivity does not vanish, though — with the")
+    print("software costs gone, raw channel contention is all that is")
+    print("left, and the linear array's long shared paths still collide")
+    print("the most.")
+
+
+if __name__ == "__main__":
+    main()

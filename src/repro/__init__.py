@@ -1,0 +1,39 @@
+"""repro — reproduction of Chan, Dandamudi & Majumdar (IPPS 1997).
+
+*Performance Comparison of Processor Scheduling Strategies in a
+Distributed-Memory Multicomputer System.*
+
+The package simulates a 16-node Transputer-style distributed-memory
+multicomputer (store-and-forward interconnect, per-node MMU, two-priority
+hardware scheduler) and implements the paper's three-level scheduling
+hierarchy with static space-sharing, RR-job time-sharing, and hybrid
+policies, along with the matrix-multiplication and sorting workloads used
+in the evaluation.
+
+Quickstart::
+
+    from repro import MulticomputerSystem, SystemConfig
+    from repro.core.policies import StaticSpaceSharing
+    from repro.workload import standard_batch
+
+    config = SystemConfig(num_nodes=16, topology="mesh")
+    system = MulticomputerSystem(config, policy=StaticSpaceSharing(partition_size=4))
+    result = system.run_batch(standard_batch("matmul", architecture="adaptive"))
+    print(result.mean_response_time)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["MulticomputerSystem", "SystemConfig", "__version__"]
+
+
+def __getattr__(name):
+    # Lazy imports keep `import repro.sim` cheap and avoid import cycles.
+    if name in ("MulticomputerSystem", "SystemConfig"):
+        from repro.core.system import MulticomputerSystem, SystemConfig
+
+        return {"MulticomputerSystem": MulticomputerSystem, "SystemConfig": SystemConfig}[name]
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,65 @@
+"""Analytical models for validating and interpreting the simulator.
+
+Closed-form results the simulation must agree with in limiting regimes:
+
+- :func:`batch_fcfs_mean_response` / :func:`batch_ps_mean_response` —
+  exact single-server batch formulas for FCFS and processor sharing
+  (the overhead-free skeletons of static space-sharing and RR-job
+  time-sharing at one partition);
+- :func:`static_partitions_mean_response` — list-scheduled multi-server
+  FCFS, the skeleton of static space-sharing with several partitions;
+- :func:`matmul_job_time` — a speedup/latency model for one fork-join
+  matmul job on p processors with the simulator's cost constants;
+- :func:`mm1_mean_response` / :func:`mmc_mean_response` — open-system
+  M/M/1 and M/M/c response times (Erlang C), used as sanity bounds for
+  the open-arrival mode.
+
+Tests in ``tests/test_analysis.py`` check both the formulas themselves
+and the simulator's agreement with them under idealised configurations.
+"""
+
+from repro.analysis.closed_batch import (
+    batch_fcfs_best_worst_average,
+    batch_fcfs_mean_response,
+    batch_ps_completion_times,
+    batch_ps_mean_response,
+    static_partitions_mean_response,
+)
+from repro.analysis.job_models import (
+    matmul_job_time,
+    parallel_efficiency,
+    sort_total_ops,
+)
+from repro.analysis.logp import (
+    LogPParams,
+    broadcast_time,
+    flat_scatter_time,
+    logp_params,
+    reduce_time,
+)
+from repro.analysis.queueing import (
+    erlang_c,
+    mmc_utilization,
+    mm1_mean_response,
+    mmc_mean_response,
+)
+
+__all__ = [
+    "LogPParams",
+    "batch_fcfs_best_worst_average",
+    "batch_fcfs_mean_response",
+    "batch_ps_completion_times",
+    "batch_ps_mean_response",
+    "broadcast_time",
+    "erlang_c",
+    "flat_scatter_time",
+    "logp_params",
+    "matmul_job_time",
+    "mm1_mean_response",
+    "mmc_mean_response",
+    "mmc_utilization",
+    "parallel_efficiency",
+    "reduce_time",
+    "sort_total_ops",
+    "static_partitions_mean_response",
+]

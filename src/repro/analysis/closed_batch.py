@@ -1,0 +1,94 @@
+"""Exact batch-scheduling formulas (closed system, all jobs at t = 0).
+
+These are the zero-overhead skeletons of the paper's policies.  A key
+classical fact they expose: for a batch on a single server, the mean
+response time of processor sharing equals the mean of FCFS *averaged
+over the best and worst orderings* up to a small correction — which is
+exactly why the paper's Figures hinge on second-order effects
+(communication congestion, memory contention, switching overhead)
+rather than on the queueing skeleton itself.
+"""
+
+from __future__ import annotations
+
+
+def batch_fcfs_mean_response(demands):
+    """Mean response of a single-server FCFS batch served in order.
+
+    Job k completes at the sum of the first k demands.
+    """
+    demands = list(demands)
+    if not demands:
+        raise ValueError("empty batch")
+    total = 0.0
+    acc = 0.0
+    for d in demands:
+        if d < 0:
+            raise ValueError("demands must be >= 0")
+        acc += d
+        total += acc
+    return total / len(demands)
+
+
+def batch_fcfs_best_worst_average(demands):
+    """The paper's static-policy figure: mean of best and worst orders."""
+    demands = list(demands)
+    best = batch_fcfs_mean_response(sorted(demands))
+    worst = batch_fcfs_mean_response(sorted(demands, reverse=True))
+    return (best + worst) / 2.0
+
+
+def batch_ps_completion_times(demands, capacity=1.0):
+    """Completion times of an egalitarian processor-sharing batch.
+
+    All jobs share ``capacity`` equally; when a job finishes, the
+    survivors' rates rise.  Classic staircase computation.
+    """
+    demands = sorted(float(d) for d in demands)
+    if not demands:
+        raise ValueError("empty batch")
+    if any(d < 0 for d in demands):
+        raise ValueError("demands must be >= 0")
+    n = len(demands)
+    completions = []
+    now = 0.0
+    done_work = 0.0  # work already received by every remaining job
+    for i, d in enumerate(demands):
+        remaining_jobs = n - i
+        step = (d - done_work) * remaining_jobs / capacity
+        now += step
+        done_work = d
+        completions.append(now)
+    return completions
+
+
+def batch_ps_mean_response(demands, capacity=1.0):
+    """Mean response of the processor-sharing batch."""
+    times = batch_ps_completion_times(demands, capacity)
+    return sum(times) / len(times)
+
+
+def static_partitions_mean_response(demands, num_partitions,
+                                    job_time=None):
+    """List-scheduled FCFS over equal partitions (static space-sharing).
+
+    Jobs are taken in order; each goes to the earliest-free partition.
+    ``job_time`` maps a demand to its execution time on one partition
+    (identity by default — use it to fold in per-job parallel
+    efficiency).  Returns the mean response time.
+    """
+    if num_partitions < 1:
+        raise ValueError("num_partitions must be >= 1")
+    demands = list(demands)
+    if not demands:
+        raise ValueError("empty batch")
+    job_time = job_time or (lambda d: d)
+    free_at = [0.0] * num_partitions
+    total = 0.0
+    for d in demands:
+        k = min(range(num_partitions), key=lambda i: free_at[i])
+        start = free_at[k]
+        finish = start + job_time(d)
+        free_at[k] = finish
+        total += finish
+    return total / len(demands)

@@ -1,0 +1,92 @@
+"""LogP-style communication model of the simulated machine.
+
+Culler et al.'s LogP abstracts a message-passing machine by four
+parameters — L (latency), o (per-message processor overhead), g (gap,
+the reciprocal of per-processor bandwidth), and P — and predicts the
+cost of communication schedules.  Mapping the simulator's calibrated
+constants onto LogP gives quick analytic predictions for the
+collectives (validated against simulation in the tests), and a compact
+way to compare the machine against modern systems.
+
+The mapping (per message of ``nbytes`` over ``hops`` store-and-forward
+hops):
+
+- ``o``  = software send/receive overhead + the CPU copy of the payload;
+- ``g``  = serialisation at the bottleneck resource: the larger of the
+  link transfer time and the copy time (they pipeline);
+- ``L``  = the remaining pipeline fill: per-hop startup plus the
+  store-and-forward relay cost of intermediate hops.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LogPParams:
+    """LogP parameters for one message size on one route length."""
+
+    latency: float     # L
+    overhead: float    # o (per endpoint)
+    gap: float         # g
+    processors: int    # P
+
+    def point_to_point(self):
+        """One message end to end: o + L + o."""
+        return 2 * self.overhead + self.latency
+
+
+def logp_params(config, nbytes, hops=1, processors=16):
+    """Map the Transputer calibration onto LogP for a message size."""
+    if nbytes < 0:
+        raise ValueError("nbytes must be >= 0")
+    if hops < 1:
+        raise ValueError("hops must be >= 1")
+    o = config.message_overhead + config.copy_time(nbytes)
+    wire = config.transfer_time(nbytes) + config.link_startup
+    g = max(wire, config.copy_time(nbytes))
+    # Intermediate hops each add a full store-and-forward relay.
+    relay = (config.hop_cpu_cost(nbytes) + wire)
+    latency = wire + (hops - 1) * relay
+    return LogPParams(latency=latency, overhead=o, gap=g,
+                      processors=processors)
+
+
+def broadcast_time(params, fanout_rounds=None):
+    """Binomial-tree broadcast estimate under LogP.
+
+    Each of the ceil(log2 P) rounds costs one point-to-point message;
+    relays for different subtrees overlap, so the critical path is the
+    deepest chain.
+    """
+    p = params.processors
+    if p < 2:
+        return 0.0
+    rounds = fanout_rounds if fanout_rounds is not None else math.ceil(
+        math.log2(p)
+    )
+    return rounds * params.point_to_point()
+
+
+def flat_scatter_time(params):
+    """Root-serialised scatter: the root pays (P-1) sends back to back.
+
+    The last message leaves after (P-2) gaps and lands after o + L + o.
+    """
+    p = params.processors
+    if p < 2:
+        return 0.0
+    return (p - 2) * max(params.gap, params.overhead) + (
+        params.point_to_point()
+    )
+
+
+def reduce_time(params, combine_seconds=0.0):
+    """Binomial-tree reduction estimate (mirror of the broadcast)."""
+    p = params.processors
+    if p < 2:
+        return combine_seconds
+    rounds = math.ceil(math.log2(p))
+    return rounds * (params.point_to_point() + combine_seconds)

@@ -1,0 +1,65 @@
+"""Open-system queueing formulas (M/M/1, M/M/c with Erlang C).
+
+Sanity oracles for the open-arrival mode: with exponential demands,
+negligible communication and c single-processor partitions, static
+space-sharing behaves like an M/M/c queue, and its simulated mean
+response time must track the Erlang-C prediction.
+"""
+
+from __future__ import annotations
+
+
+
+
+def mm1_mean_response(arrival_rate, service_rate):
+    """Mean response time (sojourn) of an M/M/1 queue: 1/(mu - lambda)."""
+    if arrival_rate <= 0 or service_rate <= 0:
+        raise ValueError("rates must be positive")
+    if arrival_rate >= service_rate:
+        raise ValueError("unstable queue (rho >= 1)")
+    return 1.0 / (service_rate - arrival_rate)
+
+
+def erlang_c(servers, offered_load):
+    """Erlang-C probability that an arrival must wait (M/M/c).
+
+    ``offered_load`` is a = lambda/mu (in Erlangs); requires a < c.
+    """
+    c = servers
+    a = offered_load
+    if c < 1:
+        raise ValueError("servers must be >= 1")
+    if a < 0:
+        raise ValueError("offered load must be >= 0")
+    if a >= c:
+        raise ValueError("unstable queue (a >= c)")
+    # Sum_{k<c} a^k/k!  and the c-th term, computed stably.
+    term = 1.0
+    total = 1.0
+    for k in range(1, c):
+        term *= a / k
+        total += term
+    term_c = term * a / c
+    tail = term_c * c / (c - a)
+    return tail / (total + tail)
+
+
+def mmc_mean_response(arrival_rate, service_rate, servers):
+    """Mean sojourn time of an M/M/c queue (Erlang-C waiting formula)."""
+    if arrival_rate <= 0 or service_rate <= 0:
+        raise ValueError("rates must be positive")
+    a = arrival_rate / service_rate
+    c = servers
+    if a >= c:
+        raise ValueError("unstable queue")
+    pw = erlang_c(c, a)
+    wait = pw / (c * service_rate - arrival_rate)
+    return wait + 1.0 / service_rate
+
+
+def mmc_utilization(arrival_rate, service_rate, servers):
+    """Per-server utilisation rho = lambda / (c mu)."""
+    rho = arrival_rate / (servers * service_rate)
+    if not 0 <= rho:
+        raise ValueError("invalid rates")
+    return rho

@@ -1,0 +1,54 @@
+"""Inter-processor communication.
+
+Implements the paper's mailbox-based asynchronous any-to-any
+communication system over point-to-point links:
+
+- messages are fragmented into packets and forwarded hop by hop using
+  **store-and-forward** switching;
+- every intermediate node must provide a transit buffer from its
+  structured (hop-class, deadlock-free) buffer pool;
+- per-packet forwarding software runs as *high-priority* CPU work on the
+  forwarding node, so heavy traffic steals cycles from applications —
+  exactly the congestion coupling the paper observes;
+- at the destination, reassembly memory comes from the node's mailbox
+  region of the MMU ("a message can suffer a delay if an intermediate
+  processor delays allocation of memory for the mailbox");
+- a message from a node to itself still pays the software path
+  (overhead + mailbox memory), as the paper notes.
+
+:class:`~repro.comm.wormhole.WormholeNetwork` provides the wormhole-
+switched alternative discussed in the paper's Section 5.2 (ablation E6):
+no intermediate buffering, but a message holds every link on its path
+from header arrival to tail departure.
+"""
+
+from repro.comm.channel import Channel, ChannelError
+from repro.comm.collectives import (
+    CollectiveContext,
+    barrier,
+    broadcast,
+    gather,
+    reduce,
+    scatter,
+)
+from repro.comm.mailbox import Mailbox
+from repro.comm.message import Message, Packet
+from repro.comm.network import Network, NetworkStats
+from repro.comm.wormhole import WormholeNetwork
+
+__all__ = [
+    "Channel",
+    "ChannelError",
+    "CollectiveContext",
+    "barrier",
+    "broadcast",
+    "gather",
+    "reduce",
+    "scatter",
+    "Mailbox",
+    "Message",
+    "Network",
+    "NetworkStats",
+    "Packet",
+    "WormholeNetwork",
+]

@@ -1,0 +1,241 @@
+"""The store-and-forward interconnection network of one partition.
+
+Each partition of the machine is configured as its own topology (the
+paper's ``8L`` label means two partitions, each an 8-node linear array),
+so a :class:`Network` instance wires exactly one partition: it attaches
+a pair of unidirectional links per topology edge, builds the routing
+function, installs a mailbox on every node, and implements message
+transport:
+
+1. the sender pays a fixed software overhead (high-priority CPU work);
+2. the message fragments into packets which pipeline along the route;
+3. before a packet crosses a link, a transit buffer must be acquired at
+   the receiving node (structured hop-class pool — deadlock-free); on
+   the final hop, reassembly memory is allocated from the destination's
+   mailbox MMU region instead;
+4. every arrival charges per-packet forwarding software to the receiving
+   node's high-priority CPU queue;
+5. when the last packet arrives the message is delivered to the
+   destination mailbox; its reassembly memory is freed when a process
+   receives it.
+
+A message from a node to itself skips the links but still pays the
+software overheads and mailbox memory — the paper calls this out as a
+real cost of the fixed software architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.comm.mailbox import Mailbox
+from repro.comm.message import Message, fragment
+from repro.topology.routing import build_router
+from repro.transputer.cpu import HIGH
+from repro.transputer.link import Link
+from repro.transputer.memory import BufferPool
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate transport statistics for one partition network."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    bytes_sent: int = 0
+    packet_hops: int = 0
+    total_latency: float = 0.0
+    self_messages: int = 0
+    #: Packets handled (received or forwarded) per node — the hotspot map.
+    node_packets: dict = field(default_factory=dict)
+    #: Bytes handled per node.
+    node_bytes: dict = field(default_factory=dict)
+
+    def record_hop(self, node_id, nbytes):
+        self.packet_hops += 1
+        self.node_packets[node_id] = self.node_packets.get(node_id, 0) + 1
+        self.node_bytes[node_id] = self.node_bytes.get(node_id, 0) + nbytes
+
+    def hotspot(self):
+        """(node_id, packets) of the busiest forwarding node, or None."""
+        if not self.node_packets:
+            return None
+        node = max(self.node_packets, key=self.node_packets.get)
+        return node, self.node_packets[node]
+
+    @property
+    def mean_latency(self):
+        if not self.messages_delivered:
+            return 0.0
+        return self.total_latency / self.messages_delivered
+
+
+class Network:
+    """Store-and-forward network over the nodes of one partition."""
+
+    def __init__(self, env, nodes, topology, config, routing="auto"):
+        """
+        Parameters
+        ----------
+        env: simulation environment.
+        nodes: mapping node_id -> TransputerNode covering topology.nodes.
+        topology: a :class:`~repro.topology.topologies.Topology`.
+        config: the shared :class:`TransputerConfig`.
+        routing: "auto" (structured router where available) or "bfs".
+        """
+        missing = [n for n in topology.nodes if n not in nodes]
+        if missing:
+            raise ValueError(f"nodes missing from mapping: {missing}")
+        self.env = env
+        self.config = config
+        self.topology = topology
+        self.nodes = {n: nodes[n] for n in topology.nodes}
+        self.router = build_router(topology, routing)
+        self.stats = NetworkStats()
+
+        diameter = topology.graph.diameter() if len(topology.nodes) > 1 else 0
+        # Hop classes 0 .. max_hops-1 are enough: a packet that has made
+        # `max_hops` hops is at its destination and uses mailbox memory.
+        # Valiant routing detours through an intermediate, so its paths
+        # reach up to twice the diameter.
+        max_hops = diameter * (2 if routing == "valiant" else 1)
+        num_classes = max(1, max_hops)
+        for node_id in topology.nodes:
+            node = self.nodes[node_id]
+            node.buffers = BufferPool(
+                env,
+                num_classes=num_classes,
+                buffers_per_class=config.buffers_per_class,
+                buffer_bytes=config.packet_bytes,
+                node_id=node_id,
+            )
+            node.mailbox = Mailbox(env, node)
+            node.links = {}
+        for u, v in topology.graph.edges:
+            self.nodes[u].links[v] = Link(
+                env, u, v, config.link_bandwidth, config.link_startup
+            )
+            self.nodes[v].links[u] = Link(
+                env, v, u, config.link_bandwidth, config.link_startup
+            )
+
+    # -- public API -----------------------------------------------------
+    def send(self, src, dst, nbytes, tag=None, payload=None):
+        """Asynchronously send a message; returns the delivery event.
+
+        The event's value is the :class:`Message` (with timing fields
+        filled in).  The caller need not wait on it — mailbox receive on
+        the destination is the usual synchronisation point.
+        """
+        self._check_member(src)
+        self._check_member(dst)
+        message = Message(src, dst, nbytes, tag=tag, payload=payload)
+        return self.env.process(
+            self._transport(message), name=f"msg{message.msg_id}"
+        )
+
+    def recv(self, node_id, match=None, tag=None):
+        """Receive a message at ``node_id`` (see :meth:`Mailbox.recv`)."""
+        self._check_member(node_id)
+        return self.nodes[node_id].mailbox.recv(match=match, tag=tag)
+
+    def link_utilizations(self, elapsed):
+        """Per-link utilisation mapping {(src, dst): fraction}."""
+        out = {}
+        for node in self.nodes.values():
+            for dst, link in node.links.items():
+                out[(link.src, dst)] = link.stats.utilization(elapsed)
+        return out
+
+    # -- internals ------------------------------------------------------
+    def _check_member(self, node_id):
+        if node_id not in self.nodes:
+            raise ValueError(
+                f"node {node_id!r} is not part of this partition network "
+                f"(members: {list(self.nodes)})"
+            )
+
+    def _transport(self, message):
+        env = self.env
+        cfg = self.config
+        src_node = self.nodes[message.src]
+        dst_node = self.nodes[message.dst]
+        message.sent_at = env.now
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += message.nbytes
+
+        # Sender-side software: packetisation and the copy of the payload
+        # out of job memory into message buffers.
+        yield src_node.cpu.execute(
+            cfg.message_overhead + cfg.copy_time(message.nbytes),
+            HIGH, tag="comm",
+        )
+
+        if message.src == message.dst:
+            # Self-message: no links, but the same software path and the
+            # same mailbox memory demand (see paper, Section 5.2).
+            message.hops = 0
+            self.stats.self_messages += 1
+            alloc = yield dst_node.mailbox_memory.alloc(max(message.nbytes, 1))
+            yield dst_node.cpu.execute(
+                cfg.hop_cpu_cost(message.nbytes), HIGH, tag="comm"
+            )
+            self._deliver(message, alloc)
+            return message
+
+        path = self.router.path(message.src, message.dst)
+        message.hops = len(path) - 1
+
+        # Reserve the whole message's reassembly space at the destination
+        # *before* any packet leaves.  Allocating per packet instead
+        # invites classic reassembly deadlock: fragments of several
+        # messages fill the mailbox region and none can complete.  The
+        # message-level reservation doubles as the mailbox protocol's
+        # flow control — a sender stalls while the destination is full,
+        # which is the paper's "a message can suffer a delay if [a]
+        # processor delays allocation of memory for the mailbox".
+        alloc = yield dst_node.mailbox_memory.alloc(max(message.nbytes, 1))
+
+        packets = fragment(message, cfg.packet_bytes)
+        done = [
+            env.process(
+                self._packet_transit(pkt, path),
+                name=f"pkt{message.msg_id}.{pkt.index}",
+            )
+            for pkt in packets
+        ]
+        yield env.all_of(done)
+        self._deliver(message, alloc)
+        return message
+
+    def _packet_transit(self, packet, path):
+        """Move one packet along ``path`` hop by hop (store-and-forward)."""
+        env = self.env
+        cfg = self.config
+        held = None  # transit buffer occupied at the current node
+        for hop, (u, v) in enumerate(zip(path, path[1:])):
+            v_node = self.nodes[v]
+            if v == path[-1]:
+                # Final hop: the packet lands in the message's pre-
+                # reserved reassembly region — no transit buffer needed.
+                slot = None
+            else:
+                slot = yield v_node.buffers.acquire(hop)
+            yield self.nodes[u].link_to(v).transmit(packet.nbytes)
+            self.stats.record_hop(v, packet.nbytes)
+            if held is not None:
+                held.release()
+            held = slot
+            # Per-packet forwarding/receive software at the arriving node:
+            # fixed overhead plus the store-and-forward memory copy.
+            yield v_node.cpu.execute(
+                cfg.hop_cpu_cost(packet.nbytes), HIGH, tag="comm"
+            )
+        if held is not None:
+            held.release()
+        return packet
+
+    def _deliver(self, message, allocation):
+        self.stats.messages_delivered += 1
+        self.nodes[message.dst].mailbox.deliver(message, allocation)
+        self.stats.total_latency += message.delivered_at - message.sent_at

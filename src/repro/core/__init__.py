@@ -1,0 +1,64 @@
+"""The paper's contribution: hierarchical processor scheduling policies.
+
+Three scheduler levels, as in the implementation on the real machine:
+
+- :class:`~repro.core.super_scheduler.SuperScheduler` — global; owns the
+  system-wide ready queue and dispatches jobs to partitions;
+- :class:`~repro.core.partition_scheduler.PartitionScheduler` — one per
+  partition; admits jobs up to the policy's multiprogramming level and
+  launches their processes;
+- :class:`~repro.core.local_scheduler.LocalScheduler` — one per
+  processor; maps job processes onto the node CPU's low-priority ready
+  queue with the policy's quantum rule.
+
+Policies (:mod:`repro.core.policies`):
+
+- **StaticSpaceSharing** — equal partitions, one job per partition, run
+  to completion, global FCFS;
+- **TimeSharing** — one 16-node partition, every batch job
+  multiprogrammed, RR-job quanta ``Q = (P/T) q``;
+- **HybridPolicy** — equal partitions, batch distributed equitably,
+  round-robin time-sharing within each partition (pure time-sharing is
+  its single-partition special case);
+- **RRProcessPolicy** — fixed per-process quanta (the unfair variant the
+  paper's Section 2.2 argues against);
+- **DynamicSpaceSharing** — an extension: partition size chosen at
+  dispatch time from the current load.
+
+:class:`~repro.core.system.MulticomputerSystem` wires nodes, partition
+networks, and schedulers together and runs batches.
+"""
+
+from repro.core.job import Job, JobState
+from repro.core.metrics import BatchResult, SystemSnapshot
+from repro.core.partition import Partition, equal_partition_node_sets
+from repro.core.policies import (
+    DynamicSpaceSharing,
+    GangScheduling,
+    HybridPolicy,
+    RRProcessPolicy,
+    SchedulingPolicy,
+    SemiStaticSpaceSharing,
+    StaticSpaceSharing,
+    TimeSharing,
+)
+from repro.core.system import MulticomputerSystem, SystemConfig
+
+__all__ = [
+    "BatchResult",
+    "DynamicSpaceSharing",
+    "GangScheduling",
+    "HybridPolicy",
+    "Job",
+    "JobState",
+    "MulticomputerSystem",
+    "Partition",
+    "RRProcessPolicy",
+    "SchedulingPolicy",
+    "SemiStaticSpaceSharing",
+    "StaticSpaceSharing",
+    "SystemConfig",
+    "SystemSnapshot",
+    "TimeSharing",
+    "equal_partition_node_sets",
+]

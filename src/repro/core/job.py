@@ -1,0 +1,101 @@
+"""Jobs: units of work submitted to the super scheduler."""
+
+from __future__ import annotations
+
+from enum import Enum
+from itertools import count
+
+_job_ids = count()
+
+
+class JobState(Enum):
+    """Lifecycle of a job.
+
+    PENDING -> QUEUED -> DISPATCHED -> RUNNING -> COMPLETED
+    """
+
+    PENDING = "pending"
+    QUEUED = "queued"
+    DISPATCHED = "dispatched"
+    RUNNING = "running"
+    COMPLETED = "completed"
+
+
+class Job:
+    """One application run with its timing record.
+
+    The paper's response-time metric is "the waiting time to get
+    processors allocated plus the execution time", i.e.
+    ``completed_at - submitted_at`` for batch jobs submitted together.
+    """
+
+    def __init__(self, application, size_class=None, name=None):
+        self.job_id = next(_job_ids)
+        #: The workload object (an Application) this job executes.
+        self.application = application
+        #: "small" / "large" (or None) — for per-class reporting.
+        self.size_class = size_class
+        self.name = name or f"job{self.job_id}"
+        self.state = JobState.PENDING
+        self.submitted_at = None
+        self.dispatched_at = None
+        self.started_at = None
+        self.completed_at = None
+        #: Partition the job ran in (set at dispatch).
+        self.partition = None
+        #: Number of processes the job created (set at launch).
+        self.num_processes = None
+        #: Optional ``fn(job, event_name, now)`` hook for tracing.
+        self.on_transition = None
+
+    # -- timing ------------------------------------------------------------
+    @property
+    def response_time(self):
+        """Waiting time for processors plus execution time."""
+        if self.completed_at is None or self.submitted_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+    @property
+    def wait_time(self):
+        """Time between submission and first execution."""
+        if self.started_at is None or self.submitted_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+    @property
+    def execution_time(self):
+        if self.completed_at is None or self.started_at is None:
+            return None
+        return self.completed_at - self.started_at
+
+    # -- state transitions ----------------------------------------------
+    def _notify(self, event_name, now):
+        if self.on_transition is not None:
+            self.on_transition(self, event_name, now)
+
+    def mark_submitted(self, now):
+        self.submitted_at = now
+        self.state = JobState.QUEUED
+        self._notify("submitted", now)
+
+    def mark_dispatched(self, now, partition):
+        self.dispatched_at = now
+        self.partition = partition
+        self.state = JobState.DISPATCHED
+        self._notify("dispatched", now)
+
+    def mark_started(self, now):
+        if self.started_at is None:
+            self.started_at = now
+        self.state = JobState.RUNNING
+        self._notify("started", now)
+
+    def mark_completed(self, now):
+        self.completed_at = now
+        self.state = JobState.COMPLETED
+        self._notify("completed", now)
+
+    def __repr__(self):
+        return (f"<Job {self.name} ({self.size_class}) "
+                f"state={self.state.value}>")

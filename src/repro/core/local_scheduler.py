@@ -1,0 +1,62 @@
+"""Local (per-processor) schedulers.
+
+On the real machine each processor runs a local scheduler that manages
+its own ready queue and "supports time sharing by using its own
+preemption control".  In the simulator the T805 hardware queues live in
+:class:`repro.transputer.cpu.Cpu`; the local scheduler is the thin
+policy-aware layer above them: it submits job processes' computation
+bursts at low priority with the quantum the policy dictates, and keeps
+per-job CPU accounting for the metrics report.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.transputer.cpu import LOW
+
+
+class LocalScheduler:
+    """Per-node adapter between job processes and the hardware queues."""
+
+    def __init__(self, node):
+        self.node = node
+        #: CPU seconds consumed per job id on this node.
+        self.job_cpu_time = defaultdict(float)
+        #: Burst count per job id.
+        self.job_dispatches = defaultdict(int)
+
+    @property
+    def node_id(self):
+        return self.node.node_id
+
+    def execute(self, job, work_seconds, quantum=None):
+        """Run ``work_seconds`` of a job process's computation.
+
+        Returns the completion event.  ``quantum=None`` leaves the
+        hardware default (static space-sharing: the job is alone in its
+        partition so the quantum value is immaterial); time-sharing
+        policies pass their RR-job quantum.
+        """
+        req = self.node.cpu.execute(
+            work_seconds, priority=LOW, quantum=quantum, tag=job.job_id
+        )
+        req.callbacks.append(self._account(job))
+        return req
+
+    def _account(self, job):
+        def record(event):
+            req = event.value
+            self.job_cpu_time[job.job_id] += req.cpu_time
+            self.job_dispatches[job.job_id] += 1
+        return record
+
+    def cpu_share(self, job_id):
+        """Fraction of this node's low-priority CPU time the job got."""
+        total = sum(self.job_cpu_time.values())
+        if total <= 0:
+            return 0.0
+        return self.job_cpu_time[job_id] / total
+
+    def __repr__(self):
+        return f"<LocalScheduler node={self.node_id}>"

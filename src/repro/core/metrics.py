@@ -1,0 +1,175 @@
+"""Batch results and system-level statistics.
+
+The paper's performance metric is the **mean response time** over a
+batch: "the waiting time to get processors allocated plus the execution
+time".  :class:`BatchResult` carries the per-job record plus a
+:class:`SystemSnapshot` of the hardware counters (CPU utilisation, link
+congestion, memory contention) that the paper uses to explain the
+policy differences.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def _mean(xs):
+    xs = list(xs)
+    return sum(xs) / len(xs) if xs else 0.0
+
+
+def _std(xs):
+    xs = list(xs)
+    if len(xs) < 2:
+        return 0.0
+    mu = _mean(xs)
+    return math.sqrt(sum((x - mu) ** 2 for x in xs) / (len(xs) - 1))
+
+
+@dataclass
+class SystemSnapshot:
+    """Hardware counters aggregated over one batch run."""
+
+    makespan: float
+    #: Per-node CPU utilisation (busy+overhead over the makespan).
+    cpu_utilization: dict
+    #: Seconds of high-priority (communication software) CPU time, total.
+    comm_cpu_time: float
+    #: Seconds of low-priority (application) CPU time, total.
+    app_cpu_time: float
+    #: CPU preemption count, total.
+    preemptions: int
+    #: CPU dispatch (slice) count, total — grows as quanta shrink.
+    dispatches: int
+    #: Per-link utilisation {(src, dst): fraction}.
+    link_utilization: dict
+    #: Total seconds packets spent queued behind busy links.
+    link_queue_time: float
+    #: Total seconds allocation requests waited on job memory.
+    memory_wait_time: float
+    #: Total seconds allocation requests waited on mailbox memory.
+    mailbox_wait_time: float
+    #: Total seconds packets waited for transit buffers.
+    buffer_wait_time: float
+    #: Peak job-region memory use over all nodes, bytes.
+    peak_memory: int
+    #: Messages delivered across all partition networks.
+    messages: int
+    #: Payload bytes sent across all partition networks.
+    bytes_sent: int
+
+    @property
+    def mean_cpu_utilization(self):
+        return _mean(self.cpu_utilization.values())
+
+    @property
+    def max_link_utilization(self):
+        return max(self.link_utilization.values(), default=0.0)
+
+
+class BatchResult:
+    """Outcome of running one batch under one policy configuration."""
+
+    def __init__(self, jobs, snapshot, label=""):
+        incomplete = [j for j in jobs if j.response_time is None]
+        if incomplete:
+            raise ValueError(f"jobs did not complete: {incomplete}")
+        self.jobs = list(jobs)
+        self.snapshot = snapshot
+        self.label = label
+
+    # -- response times ----------------------------------------------------
+    @property
+    def response_times(self):
+        return [j.response_time for j in self.jobs]
+
+    @property
+    def mean_response_time(self):
+        return _mean(self.response_times)
+
+    @property
+    def std_response_time(self):
+        return _std(self.response_times)
+
+    @property
+    def max_response_time(self):
+        return max(self.response_times)
+
+    @property
+    def makespan(self):
+        return self.snapshot.makespan
+
+    @property
+    def mean_wait_time(self):
+        return _mean(j.wait_time for j in self.jobs)
+
+    @property
+    def mean_execution_time(self):
+        return _mean(j.execution_time for j in self.jobs)
+
+    def mean_response_by_class(self):
+        """Mean response time per job size class."""
+        classes = {}
+        for job in self.jobs:
+            classes.setdefault(job.size_class, []).append(job.response_time)
+        return {cls: _mean(times) for cls, times in classes.items()}
+
+    # -- slowdown ----------------------------------------------------------
+    def slowdowns(self, demand=None):
+        """Per-job slowdown: response time / service demand.
+
+        ``demand(job)`` maps a job to its demand in seconds; the default
+        uses the application's analytic operation count at the job's
+        allocated process count, at 1e6 ops/s reference speed — a
+        machine-independent proxy good for *relative* comparisons.
+        Slowdown is the classic fairness metric: a policy with low mean
+        response but huge small-job slowdowns is starving someone.
+        """
+        if demand is None:
+            def demand(job):
+                return job.application.total_ops(
+                    job.num_processes or 1
+                ) / 1e6
+        out = []
+        for job in self.jobs:
+            d = demand(job)
+            if d <= 0:
+                raise ValueError(f"non-positive demand for {job.name}")
+            out.append(job.response_time / d)
+        return out
+
+    def mean_slowdown(self, demand=None):
+        return _mean(self.slowdowns(demand))
+
+    def max_slowdown(self, demand=None):
+        return max(self.slowdowns(demand))
+
+    def percentile_response(self, q):
+        """q-th percentile (0..100) of response times (nearest-rank)."""
+        if not 0 <= q <= 100:
+            raise ValueError("q must be in [0, 100]")
+        times = sorted(self.response_times)
+        if not times:
+            return 0.0
+        rank = max(1, math.ceil(q / 100.0 * len(times)))
+        return times[rank - 1]
+
+    def __repr__(self):
+        return (f"<BatchResult {self.label} n={len(self.jobs)} "
+                f"mean_rt={self.mean_response_time:.4f}s>")
+
+
+def merge_static_orderings(best, worst, label=""):
+    """Fair static-policy figure: average of best and worst orderings.
+
+    The paper reports the static policy's response time as the average
+    of the best (small jobs first) and worst (large jobs first) FCFS
+    orderings; this helper produces a pseudo-result whose aggregate
+    numbers are those averages (job lists from both runs are retained).
+    """
+    merged = BatchResult.__new__(BatchResult)
+    merged.jobs = best.jobs + worst.jobs
+    merged.snapshot = best.snapshot
+    merged.label = label or f"avg({best.label},{worst.label})"
+    return merged

@@ -1,0 +1,185 @@
+"""Partition schedulers: per-partition job admission and launch.
+
+A partition scheduler owns the jobs the super scheduler dispatched to
+its partition.  Under static space-sharing it runs exactly one job at a
+time (run-to-completion); under the time-shared policies it launches
+every assigned job immediately, so the partition's multiprogramming
+level equals its share of the batch, and processes time-share via the
+local schedulers with the policy's RR-job quantum.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.context import ExecutionContext
+
+
+class PartitionScheduler:
+    """Manages the processors of one partition."""
+
+    def __init__(self, env, partition, policy, config, on_job_complete=None,
+                 placement="aligned", host_link=None):
+        if placement not in ("aligned", "staggered"):
+            raise ValueError(f"unknown placement {placement!r}")
+        self.env = env
+        self.partition = partition
+        self.policy = policy
+        self.config = config
+        #: "aligned" maps every job's process i to partition processor i
+        #: (the natural 1997 implementation: multiprogrammed jobs'
+        #: coordinators all land on the partition's first node, which is
+        #: where the paper's memory contention and link congestion
+        #: concentrate).  "staggered" rotates each job's placement to
+        #: spread coordinators — a load-balancing refinement studied as
+        #: an ablation.
+        self.placement = placement
+        #: Shared link to the front-end host (job loading and result
+        #: return serialise through it); None disables host modelling.
+        self.host_link = host_link
+        #: Called with (self, job) whenever a job completes — the super
+        #: scheduler uses this to dispatch the next queued job.
+        self.on_job_complete = on_job_complete
+        self.pending = deque()
+        self.active = {}
+        self.completed_jobs = []
+        self._launched = 0
+        partition.scheduler = self
+        self._gang_active = None
+        if getattr(policy, "gang", False):
+            env.process(self._gang_rotator(),
+                        name=f"gang{partition.partition_id}")
+
+    # -- admission ---------------------------------------------------------
+    @property
+    def load(self):
+        """Jobs assigned to this partition and not yet finished."""
+        return len(self.pending) + len(self.active)
+
+    @property
+    def is_idle(self):
+        return self.load == 0
+
+    def admit(self, job):
+        """Accept a job from the super scheduler."""
+        job.mark_dispatched(self.env.now, self.partition)
+        self.pending.append(job)
+        self._try_launch()
+
+    # -- launch -----------------------------------------------------------
+    def _try_launch(self):
+        limit = self.policy.jobs_per_partition_limit()
+        while self.pending and (limit is None or len(self.active) < limit):
+            self._launch(self.pending.popleft())
+
+    def _launch(self, job):
+        app = job.application
+        num_processes = app.num_processes(self.partition.size)
+        job.num_processes = num_processes
+        quantum = self.policy.quantum_for(
+            num_processes, self.partition.size, self.config
+        )
+        if self.placement == "staggered":
+            offset = self._launched % self.partition.size
+        else:
+            offset = 0
+        ctx = ExecutionContext(
+            self.env, job, self.partition, self.config, quantum=quantum,
+            placement_offset=offset,
+        )
+        self._launched += 1
+        if (getattr(self.policy, "gang", False)
+                and self._gang_active is not None
+                and self._gang_active != job.job_id):
+            # Park the newcomer's computation until its first slot.
+            for node in self.partition.nodes.values():
+                if job.job_id not in node.cpu._paused:
+                    node.cpu.pause_tag(job.job_id)
+        job.mark_started(self.env.now)
+        proc = self.env.process(
+            self._job_body(job, app, ctx), name=f"{job.name}-app"
+        )
+        self.active[job.job_id] = (job, proc, ctx)
+        proc.callbacks.append(self._completion_handler(job, ctx))
+
+    def _job_body(self, job, app, ctx):
+        """Load from the host, run the application, return the result.
+
+        Loading ships the program image and initial data over the single
+        host link and copies them in at the coordinator's node; under
+        time-sharing all batch jobs load at once, so this is where the
+        paper's start-up burst serialises.
+        """
+        from repro.transputer.cpu import HIGH
+
+        coordinator = self.partition.node(ctx.place(0))
+        if self.host_link is not None and app.load_bytes > 0:
+            yield self.host_link.transmit(app.load_bytes)
+            yield coordinator.cpu.execute(
+                self.config.copy_time(app.load_bytes)
+                + self.config.message_overhead,
+                HIGH, tag="host",
+            )
+        yield from app.run(ctx)
+        if self.host_link is not None and app.result_bytes > 0:
+            yield coordinator.cpu.execute(
+                self.config.copy_time(app.result_bytes)
+                + self.config.message_overhead,
+                HIGH, tag="host",
+            )
+            yield self.host_link.transmit(app.result_bytes)
+
+    # -- gang scheduling ----------------------------------------------------
+    def _gang_rotator(self):
+        """Rotate the active job across the whole partition.
+
+        Every ``gang_slot`` seconds the rotator deschedules the current
+        job's low-priority work on all partition processors and releases
+        the next job's — coordinated context switching, so a job's
+        processes always run together.
+        """
+        slot = self.policy.gang_slot
+        while True:
+            jobs = sorted(self.active)
+            if not jobs:
+                self._set_gang_active(None)
+                yield self.env.timeout(slot)
+                continue
+            if self._gang_active in jobs:
+                idx = (jobs.index(self._gang_active) + 1) % len(jobs)
+            else:
+                idx = 0
+            self._set_gang_active(jobs[idx])
+            yield self.env.timeout(slot)
+
+    def _set_gang_active(self, job_id):
+        if job_id == self._gang_active:
+            return
+        self._gang_active = job_id
+        for node in self.partition.nodes.values():
+            cpu = node.cpu
+            for other in list(self.active):
+                if other != job_id and other not in cpu._paused:
+                    cpu.pause_tag(other)
+            if job_id is not None:
+                cpu.resume_tag(job_id)
+
+    def _completion_handler(self, job, ctx):
+        def on_done(event):
+            if not event.ok:
+                # Application failure: leave the event un-defused so the
+                # kernel surfaces the exception instead of hanging the
+                # batch with a half-finished job.
+                return
+            ctx.release_all()
+            job.mark_completed(self.env.now)
+            self.active.pop(job.job_id, None)
+            self.completed_jobs.append(job)
+            self._try_launch()
+            if self.on_job_complete is not None:
+                self.on_job_complete(self, job)
+        return on_done
+
+    def __repr__(self):
+        return (f"<PartitionScheduler part={self.partition.partition_id} "
+                f"active={len(self.active)} pending={len(self.pending)}>")

@@ -1,0 +1,300 @@
+"""The scheduling policies compared in the paper.
+
+All policies answer three questions:
+
+1. **Partition shape** — what size are the (equal) partitions?
+2. **Admission** — how many jobs may one partition multiprogram?
+   (1 for static space-sharing; unbounded for the time-shared family,
+   where the equitable batch distribution fixes the effective MPL.)
+3. **Quantum rule** — what timeslice does each process of a job get?
+   ``None`` means run-to-completion (static); the RR-job rule is
+   ``Q = (P/T) * q`` with P the partition size, T the job's process
+   count and q the basic quantum, which equalises *job* shares of
+   processing power regardless of process count; RR-process uses a
+   fixed per-process quantum (and therefore hands process-rich jobs a
+   larger share — the unfairness Section 2.2 describes).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+
+class SchedulingPolicy(ABC):
+    """Base class for processor scheduling policies."""
+
+    #: Human-readable policy name for reports.
+    name = "abstract"
+    #: True for policies that time-share partitions among several jobs.
+    time_shared = False
+    #: True for policies that form partitions at dispatch time.
+    dynamic = False
+
+    @abstractmethod
+    def partition_size(self, num_nodes):
+        """Size of the system's equal partitions."""
+
+    def num_partitions(self, num_nodes):
+        return num_nodes // self.partition_size(num_nodes)
+
+    def jobs_per_partition_limit(self):
+        """Maximum concurrently running jobs per partition (None = no cap)."""
+        return 1
+
+    def quantum_for(self, num_processes, partition_size, config):
+        """Per-process timeslice, or None for run-to-completion."""
+        return None
+
+    def label(self, num_nodes):
+        return f"{self.name}(p={self.partition_size(num_nodes)})"
+
+    def validate(self, num_nodes):
+        p = self.partition_size(num_nodes)
+        if p < 1 or p > num_nodes or num_nodes % p:
+            raise ValueError(
+                f"partition size {p} does not evenly divide {num_nodes} "
+                f"processors"
+            )
+        return self
+
+    def __repr__(self):
+        return f"<{type(self).__name__}>"
+
+
+class StaticSpaceSharing(SchedulingPolicy):
+    """Static space-sharing: equal partitions, one job each, global queue.
+
+    A job acquires a whole partition exclusively and runs to completion;
+    other jobs wait in the global ready queue until a partition frees.
+
+    ``discipline`` selects the queue order: ``fcfs`` (the paper's
+    implementation — arrival order, which is why the paper averages best
+    and worst orderings), ``sjf`` (shortest job first: the paper's best
+    case, made into a policy), or ``ljf`` (its worst case).  Demand is
+    estimated from the application's analytic operation count — the
+    information a user-supplied job characteristic would provide
+    (Section 2.1: allocations "based on the characteristics of the job").
+    """
+
+    name = "static"
+    DISCIPLINES = ("fcfs", "sjf", "ljf")
+
+    def __init__(self, partition_size, discipline="fcfs"):
+        if partition_size < 1:
+            raise ValueError("partition_size must be >= 1")
+        if discipline not in self.DISCIPLINES:
+            raise ValueError(
+                f"unknown discipline {discipline!r}; expected one of "
+                f"{self.DISCIPLINES}"
+            )
+        self._p = int(partition_size)
+        self.discipline = discipline
+
+    def partition_size(self, num_nodes):
+        return self._p
+
+    def select_next(self, queue):
+        """Index into ``queue`` (a sequence of Jobs) to dispatch next."""
+        if self.discipline == "fcfs" or len(queue) == 1:
+            return 0
+
+        def demand(job):
+            return job.application.total_ops(self._p)
+
+        indices = range(len(queue))
+        if self.discipline == "sjf":
+            return min(indices, key=lambda i: demand(queue[i]))
+        return max(indices, key=lambda i: demand(queue[i]))
+
+    def __repr__(self):
+        return f"StaticSpaceSharing(p={self._p}, {self.discipline})"
+
+
+class SemiStaticSpaceSharing(StaticSpaceSharing):
+    """Semi-static space-sharing: repartition on a medium-term basis.
+
+    Section 2.1's taxonomy distinguishes static (fixed long-term
+    partitions), semi-static (repartitioned between workloads), and
+    dynamic (per-dispatch) policies.  This semi-static variant picks the
+    partition size *per batch*: enough equal partitions for the batch's
+    jobs to spread out, i.e. ``P / min(batch, P)`` rounded down to a
+    power of two, optionally capped.  Use it through
+    :meth:`MulticomputerSystem.run_batches`, which reconfigures the
+    machine between batches.
+    """
+
+    name = "semi-static"
+    semi_static = True
+
+    def __init__(self, discipline="fcfs", max_partition=None):
+        super().__init__(partition_size=1, discipline=discipline)
+        if max_partition is not None and max_partition < 1:
+            raise ValueError("max_partition must be >= 1")
+        self.max_partition = max_partition
+
+    def partition_size_for_batch(self, batch_size, num_nodes):
+        """Partition size the next batch will run under."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        target_partitions = min(batch_size, num_nodes)
+        p = max(1, num_nodes // target_partitions)
+        p = 1 << (p.bit_length() - 1)  # power of two (always divides P)
+        if self.max_partition is not None:
+            p = min(p, self.max_partition)
+        return p
+
+    def reconfigure(self, batch_size, num_nodes):
+        """Adopt the partition size for an upcoming batch."""
+        self._p = self.partition_size_for_batch(batch_size, num_nodes)
+        return self._p
+
+    def __repr__(self):
+        return (f"SemiStaticSpaceSharing(p={self._p}, "
+                f"max={self.max_partition})")
+
+
+class HybridPolicy(SchedulingPolicy):
+    """Space-sharing partitions, time-sharing within each.
+
+    The system is split into ``P/p`` equal partitions; a batch's jobs
+    are distributed equitably among them and each partition round-robin
+    time-shares its set (RR-job quanta).  Pure time-sharing is the
+    single-partition special case (see :class:`TimeSharing`).
+    """
+
+    name = "hybrid"
+
+    def __init__(self, partition_size, basic_quantum=None):
+        if partition_size < 1:
+            raise ValueError("partition_size must be >= 1")
+        self._p = int(partition_size)
+        #: Basic quantum q; None defers to the hardware default.
+        self.basic_quantum = basic_quantum
+
+    time_shared = True
+
+    def partition_size(self, num_nodes):
+        return self._p
+
+    def jobs_per_partition_limit(self):
+        return None
+
+    def quantum_for(self, num_processes, partition_size, config):
+        q = (self.basic_quantum if self.basic_quantum is not None
+             else config.scheduler_quantum)
+        if num_processes < 1:
+            raise ValueError("num_processes must be >= 1")
+        # RR-job: equal per-job power independent of process count.
+        return q * partition_size / num_processes
+
+    def __repr__(self):
+        return f"HybridPolicy(p={self._p}, q={self.basic_quantum})"
+
+
+class TimeSharing(HybridPolicy):
+    """Pure time-sharing: the whole system is a single partition.
+
+    All batch jobs are multiprogrammed together (MPL = batch size) and
+    every process receives the RR-job quantum ``Q = (P/T) q``.
+    """
+
+    name = "timesharing"
+
+    def __init__(self, basic_quantum=None):
+        super().__init__(partition_size=1, basic_quantum=basic_quantum)
+
+    def partition_size(self, num_nodes):
+        return num_nodes
+
+    def __repr__(self):
+        return f"TimeSharing(q={self.basic_quantum})"
+
+
+class RRProcessPolicy(TimeSharing):
+    """Round-robin with a fixed per-process quantum (the strawman).
+
+    Distributes processing power proportionally to a job's process
+    count, contravening job-level fairness — included to reproduce the
+    Section 2.2 argument quantitatively (ablation E8).
+    """
+
+    name = "rr-process"
+
+    def quantum_for(self, num_processes, partition_size, config):
+        return (self.basic_quantum if self.basic_quantum is not None
+                else config.scheduler_quantum)
+
+    def __repr__(self):
+        return f"RRProcessPolicy(q={self.basic_quantum})"
+
+
+class GangScheduling(HybridPolicy):
+    """Extension: coordinated job-granular time-slicing (gang scheduling).
+
+    Like the hybrid policy, the system is split into equal partitions
+    and each partition multiprograms its share of the batch — but
+    instead of interleaving all jobs' processes at quantum granularity,
+    the partition scheduler activates *one job at a time* across all of
+    the partition's processors for a ``gang_slot``-long time slot, then
+    rotates.  All of a job's processes therefore run simultaneously,
+    which lets communicating processes rendezvous without waiting a
+    whole round-robin cycle — the classic co-scheduling argument
+    (Ousterhout), and the natural next step after the paper's hybrid.
+
+    Communication software (high priority) is never descheduled, so
+    in-flight messages of inactive jobs still drain.
+    """
+
+    name = "gang"
+    gang = True
+
+    def __init__(self, partition_size, gang_slot=0.1):
+        super().__init__(partition_size)
+        if gang_slot <= 0:
+            raise ValueError("gang_slot must be positive")
+        self.gang_slot = gang_slot
+
+    def quantum_for(self, num_processes, partition_size, config):
+        # Within its slot a job owns the partition; co-located processes
+        # of the same job share each node at the hardware quantum.
+        return config.quantum
+
+    def __repr__(self):
+        return f"GangScheduling(p={self._p}, slot={self.gang_slot})"
+
+
+class DynamicSpaceSharing(SchedulingPolicy):
+    """Extension: space-sharing with dispatch-time partition sizing.
+
+    When a job reaches the head of the FCFS queue and free processors
+    exist, it receives a partition of ``min(free, P / (waiting+running+1))``
+    processors rounded down to a power of two (at least one) — the
+    simplest of the adaptive schemes surveyed in the paper's Section 2.1
+    (static / semi-static / dynamic taxonomy).
+    """
+
+    name = "dynamic"
+    dynamic = True
+
+    def __init__(self, max_partition=None):
+        self.max_partition = max_partition
+
+    def partition_size(self, num_nodes):
+        # Dynamic policies size partitions per dispatch; the nominal
+        # value is the whole machine.
+        return num_nodes
+
+    def choose_size(self, free_nodes, waiting_jobs, running_jobs, num_nodes):
+        """Partition size for the next dispatch under the current load."""
+        if free_nodes < 1:
+            return 0
+        demand = waiting_jobs + running_jobs
+        fair = max(1, num_nodes // max(1, demand))
+        size = min(free_nodes, fair)
+        if self.max_partition is not None:
+            size = min(size, self.max_partition)
+        # Round down to a power of two so every topology is buildable.
+        return 1 << (size.bit_length() - 1)
+
+    def __repr__(self):
+        return f"DynamicSpaceSharing(max={self.max_partition})"

@@ -1,0 +1,182 @@
+"""The super scheduler: global ready queue and job dispatch.
+
+Dispatch follows the paper's implementation:
+
+- **Static space-sharing** — jobs wait in a global FCFS queue; whenever
+  a partition is free the queue head is dispatched to it and runs to
+  completion there.
+- **Time-shared policies (hybrid / pure TS)** — "all 16 jobs in a batch
+  are distributed equitably among the partitions": submission round-
+  robins jobs over the partitions immediately, which fixes each
+  partition's multiprogramming level at batch_size / num_partitions.
+- **Dynamic space-sharing (extension)** — the queue head receives a
+  freshly formed partition sized from the current load; its processors
+  return to the free pool at completion.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.partition import Partition
+from repro.core.partition_scheduler import PartitionScheduler
+from repro.sim import Event
+
+
+class SuperScheduler:
+    """System-wide scheduler sitting above the partition schedulers."""
+
+    def __init__(self, env, policy, config, partitions=None,
+                 dynamic_pool=None, topology_name=None,
+                 system_config=None, host_link=None):
+        """
+        Parameters
+        ----------
+        partitions: pre-built partitions (static / time-shared policies).
+        dynamic_pool: mapping node_id -> TransputerNode of free
+            processors (dynamic policy only).
+        topology_name / system_config: needed to build partitions on the
+            fly under the dynamic policy.
+        """
+        self.env = env
+        self.policy = policy
+        self.config = config
+        self.partitions = list(partitions or [])
+        self.ready_queue = deque()
+        self.jobs = []
+        self._completed = 0
+        self._rr_next = 0
+        #: Event that fires when every submitted job has completed.
+        self.all_done = Event(env)
+        #: Total jobs expected over the run (set by open-system mode so
+        #: all_done does not fire between arrivals); None = whatever has
+        #: been submitted so far.
+        self.expected_jobs = None
+        #: Callables ``fn(job)`` invoked whenever a job completes
+        #: (used by workflow dependency release and instrumentation).
+        self.completion_hooks = []
+        # Dynamic policy state.
+        self._pool = dict(dynamic_pool or {})
+        self._topology_name = topology_name
+        self._system_config = system_config
+        self._host_link = host_link
+        self._dyn_counter = 0
+        for part in self.partitions:
+            part.scheduler.on_job_complete = self._on_job_complete
+
+    # -- submission --------------------------------------------------------
+    def submit(self, job):
+        """Enter a job into the system at the current time."""
+        job.mark_submitted(self.env.now)
+        self.jobs.append(job)
+        if self.policy.dynamic:
+            self.ready_queue.append(job)
+            self._dispatch_dynamic()
+        elif self.policy.time_shared:
+            # Equitable distribution: round-robin over partitions.
+            part = self.partitions[self._rr_next % len(self.partitions)]
+            self._rr_next += 1
+            part.scheduler.admit(job)
+        else:
+            self.ready_queue.append(job)
+            self._dispatch_static()
+
+    def submit_batch(self, jobs):
+        """Submit a batch as a unit.
+
+        For queue-based policies all jobs enter the ready queue before
+        the first dispatch, so a non-FCFS discipline (SJF/LJF) sees the
+        whole batch — submitting one by one would let the first arrival
+        grab a partition before the scheduler could compare.
+        """
+        jobs = list(jobs)
+        if self.policy.time_shared or self.policy.dynamic:
+            for job in jobs:
+                self.submit(job)
+            return
+        for job in jobs:
+            job.mark_submitted(self.env.now)
+            self.jobs.append(job)
+            self.ready_queue.append(job)
+        self._dispatch_static()
+
+    # -- dispatch ----------------------------------------------------------
+    def _dispatch_static(self):
+        while self.ready_queue:
+            free = next((p for p in self.partitions if p.scheduler.is_idle), None)
+            if free is None:
+                return
+            select = getattr(self.policy, "select_next", None)
+            if select is None:
+                job = self.ready_queue.popleft()
+            else:
+                idx = select(self.ready_queue)
+                job = self.ready_queue[idx]
+                del self.ready_queue[idx]
+            free.scheduler.admit(job)
+
+    def _dispatch_dynamic(self):
+        while self.ready_queue:
+            running = sum(len(p.scheduler.active) for p in self.partitions)
+            size = self.policy.choose_size(
+                free_nodes=len(self._pool),
+                waiting_jobs=len(self.ready_queue),
+                running_jobs=running,
+                num_nodes=len(self._pool)
+                + sum(p.size for p in self.partitions if not p.scheduler.is_idle),
+            )
+            if size < 1:
+                return
+            job = self.ready_queue.popleft()
+            node_ids = sorted(self._pool)[:size]
+            nodes = {n: self._pool.pop(n) for n in node_ids}
+            part = Partition(
+                self.env,
+                f"dyn{self._dyn_counter}",
+                nodes,
+                self._topology_name,
+                self.config,
+                routing=self._system_config.routing,
+                switching=self._system_config.switching,
+                topology_kwargs=self._system_config.topology_kwargs(size),
+            )
+            self._dyn_counter += 1
+            sched = PartitionScheduler(
+                self.env, part, self.policy, self.config,
+                on_job_complete=self._on_dynamic_job_complete,
+                placement=self._system_config.placement,
+                host_link=self._host_link,
+            )
+            self.partitions.append(part)
+            sched.admit(job)
+
+    # -- completion --------------------------------------------------------
+    def _on_job_complete(self, scheduler, job):
+        self._completed += 1
+        for hook in self.completion_hooks:
+            hook(job)
+        if not self.policy.time_shared:
+            self._dispatch_static()
+        self._check_all_done()
+
+    def _on_dynamic_job_complete(self, scheduler, job):
+        self._completed += 1
+        part = scheduler.partition
+        self.partitions.remove(part)
+        self._pool.update(part.nodes)
+        for hook in self.completion_hooks:
+            hook(job)
+        self._dispatch_dynamic()
+        self._check_all_done()
+
+    def _check_all_done(self):
+        expected = (self.expected_jobs if self.expected_jobs is not None
+                    else len(self.jobs))
+        if (self._completed == expected == len(self.jobs)
+                and not self.ready_queue
+                and not self.all_done.triggered):
+            self.all_done.succeed(self._completed)
+
+    def __repr__(self):
+        return (f"<SuperScheduler queued={len(self.ready_queue)} "
+                f"done={self._completed}/{len(self.jobs)}>")

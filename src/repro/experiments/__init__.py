@@ -1,0 +1,73 @@
+"""Experiment harness: regenerate every figure in the paper's evaluation.
+
+The evaluation section of the paper contains four figures (mean batch
+response time versus partition size x topology):
+
+- Figure 3 — matrix multiplication, fixed software architecture (E1)
+- Figure 4 — matrix multiplication, adaptive architecture (E2)
+- Figure 5 — sort, fixed architecture (E3)
+- Figure 6 — sort, adaptive architecture (E4)
+
+plus several quantitative claims reproduced here as ablations:
+
+- E5 variance crossover (Section 5.2 / companion TR): high service-
+  demand variance flips the static-vs-time-sharing ranking;
+- E6 wormhole routing (Section 5.2 discussion): removes intermediate
+  buffering and most topology sensitivity;
+- E7 memory-size sensitivity: the contention mechanism behind the
+  time-sharing degradation;
+- E8 RR-process unfairness (Section 2.2): fixed per-process quanta give
+  process-rich jobs an outsized share;
+- E9 quantum-size sensitivity (Section 3.1 hardware mechanism).
+
+Use :func:`run_figure` / :func:`run_ablation` from Python, or the CLI::
+
+    python -m repro.experiments --figure 3
+    python -m repro.experiments --ablation variance
+"""
+
+from repro.experiments.config import (
+    DEFAULT_PARTITION_SIZES,
+    DEFAULT_TOPOLOGIES,
+    ExperimentScale,
+    FigureSpec,
+    figure_spec,
+)
+from repro.experiments.runner import (
+    GridCell,
+    run_cell,
+    run_figure,
+    run_static_averaged,
+)
+from repro.experiments.report import format_grid, grid_to_csv
+from repro.experiments.serialization import (
+    config_from_dict,
+    config_to_dict,
+    load_results,
+    result_to_dict,
+    save_results,
+)
+from repro.experiments.speedup import crossover_partition_size, speedup_curve
+from repro.experiments import ablations
+
+__all__ = [
+    "DEFAULT_PARTITION_SIZES",
+    "DEFAULT_TOPOLOGIES",
+    "ExperimentScale",
+    "FigureSpec",
+    "GridCell",
+    "ablations",
+    "config_from_dict",
+    "config_to_dict",
+    "crossover_partition_size",
+    "figure_spec",
+    "format_grid",
+    "grid_to_csv",
+    "load_results",
+    "result_to_dict",
+    "run_cell",
+    "run_figure",
+    "run_static_averaged",
+    "save_results",
+    "speedup_curve",
+]

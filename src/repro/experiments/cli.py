@@ -1,0 +1,195 @@
+"""Command-line entry point: regenerate figures and ablations.
+
+Examples::
+
+    python -m repro.experiments --figure 3
+    python -m repro.experiments --figure all --scale smoke
+    python -m repro.experiments --ablation variance
+    python -m repro.experiments --figure 4 --csv fig4.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.ablations import ALL_ABLATIONS
+from repro.experiments.config import ExperimentScale, figure_spec
+from repro.experiments.report import format_ablation, format_grid, grid_to_csv
+from repro.experiments.runner import run_figure
+
+
+def _parse_args(argv):
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the figures and ablations of Chan, "
+                    "Dandamudi & Majumdar (IPPS 1997).",
+    )
+    parser.add_argument(
+        "--figure", help="figure number 3-6, or 'all'", default=None
+    )
+    parser.add_argument(
+        "--ablation",
+        help=f"one of {sorted(ALL_ABLATIONS)}, or 'all'",
+        default=None,
+    )
+    parser.add_argument(
+        "--scale", choices=("paper", "smoke"), default="paper",
+        help="problem-size scaling (default: paper)",
+    )
+    parser.add_argument(
+        "--csv", default=None, help="also write the grid as CSV to this path"
+    )
+    parser.add_argument(
+        "--chart", action="store_true",
+        help="also render figures as ASCII bar charts",
+    )
+    parser.add_argument(
+        "--sensitivity", action="store_true",
+        help="run the calibration-sensitivity sweep (slow)",
+    )
+    parser.add_argument(
+        "--topologies", action="store_true",
+        help="print the topology property table",
+    )
+    parser.add_argument(
+        "--validate", action="store_true",
+        help="run the closed-form validation report",
+    )
+    args = parser.parse_args(argv)
+    if not (args.figure or args.ablation or args.sensitivity
+            or args.topologies or args.validate):
+        parser.error("pass --figure, --ablation, --sensitivity, "
+                     "--topologies and/or --validate")
+    return args
+
+
+def _run_figures(args, out=None):
+    out = out or sys.stdout
+    scale = (ExperimentScale.paper() if args.scale == "paper"
+             else ExperimentScale.smoke())
+    numbers = [3, 4, 5, 6] if args.figure == "all" else [int(args.figure)]
+    all_cells = []
+    for number in numbers:
+        spec = figure_spec(number)
+        start = time.time()
+
+        def progress(cell):
+            print(f"  {cell.label:>4} {cell.policy:<12} "
+                  f"rt={cell.mean_response_time:9.3f}s", file=out)
+
+        print(f"=== Figure {number}: {spec.title} [{scale.name}]", file=out)
+        cells = run_figure(spec, scale, progress=progress)
+        print(format_grid(cells, title=f"Figure {number} ({spec.title})"),
+              file=out)
+        if args.chart:
+            from repro.trace import render_series
+
+            series = {}
+            for cell in cells:
+                series.setdefault(cell.policy, {})[cell.label] = (
+                    cell.mean_response_time
+                )
+            print(render_series(series), file=out)
+        print(f"  ({time.time() - start:.1f}s)", file=out)
+        all_cells.extend(cells)
+    if args.csv:
+        with open(args.csv, "w") as fh:
+            fh.write(grid_to_csv(all_cells))
+        print(f"wrote {args.csv}", file=out)
+
+
+def _run_ablations(args, out=None):
+    out = out or sys.stdout
+    names = (sorted(ALL_ABLATIONS) if args.ablation == "all"
+             else [args.ablation])
+    for name in names:
+        try:
+            fn = ALL_ABLATIONS[name]
+        except KeyError:
+            raise SystemExit(
+                f"unknown ablation {name!r}; choose from "
+                f"{sorted(ALL_ABLATIONS)}"
+            )
+        start = time.time()
+        rows, columns = fn()
+        print(format_ablation(rows, columns, title=f"=== Ablation: {name}"),
+              file=out)
+        print(f"  ({time.time() - start:.1f}s)", file=out)
+
+
+def _run_sensitivity(out=None):
+    out = out or sys.stdout
+    from repro.experiments.sensitivity import (
+        fraction_preserving_finding,
+        sensitivity_sweep,
+    )
+
+    start = time.time()
+    rows, columns = sensitivity_sweep()
+    print(format_ablation(rows, columns,
+                          title="=== Calibration sensitivity "
+                                "(ts/static @ 16L, matmul fixed)"),
+          file=out)
+    frac = fraction_preserving_finding(rows)
+    print(f"finding preserved at {frac:.0%} of perturbed configurations",
+          file=out)
+    print(f"  ({time.time() - start:.1f}s)", file=out)
+
+
+def _run_topology_table(out=None):
+    out = out or sys.stdout
+    from repro.topology import (
+        compare_topologies,
+        hypercube,
+        linear_array,
+        mesh,
+        ring,
+        torus,
+    )
+
+    topologies = [
+        linear_array(range(16)), ring(range(16)), mesh(range(16)),
+        hypercube(range(8)), torus(range(16)),
+    ]
+    rows = compare_topologies(topologies)
+    columns = ["label", "links", "max_degree", "diameter", "avg_distance",
+               "bisection"]
+    print(format_ablation(rows, columns, title="=== Topology properties"),
+          file=out)
+
+
+def _run_validation(out=None):
+    out = out or sys.stdout
+    from repro.experiments.validation import all_checks_pass, validation_report
+
+    rows, columns = validation_report()
+    for row in rows:
+        for key in ("simulated", "predicted", "rel_error", "tolerance"):
+            row[key] = float(row[key])
+    print(format_ablation(rows, columns,
+                          title="=== Validation vs closed forms"), file=out)
+    ok = all_checks_pass(rows)
+    print("all checks passed" if ok else "SOME CHECKS FAILED", file=out)
+    return ok
+
+
+def main(argv=None):
+    args = _parse_args(argv if argv is not None else sys.argv[1:])
+    if args.validate:
+        if not _run_validation():
+            return 1
+    if args.topologies:
+        _run_topology_table()
+    if args.figure:
+        _run_figures(args)
+    if args.ablation:
+        _run_ablations(args)
+    if args.sensitivity:
+        _run_sensitivity()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,92 @@
+"""Experiment grids and scaling.
+
+A figure's grid is the cross product of partition sizes and topologies
+from the paper (1, 2, 4, 8, 16 x L, R, M, H — no 16-node hypercube).
+Full paper-scale runs take a few minutes; ``ExperimentScale.SMOKE``
+shrinks problem sizes and the batch for CI-speed runs with the same
+qualitative shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+DEFAULT_PARTITION_SIZES = (1, 2, 4, 8, 16)
+DEFAULT_TOPOLOGIES = ("linear", "ring", "mesh", "hypercube")
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Problem-size scaling for an experiment run."""
+
+    name: str
+    num_small: int
+    num_large: int
+    matmul_small: int
+    matmul_large: int
+    sort_small: int
+    sort_large: int
+    partition_sizes: tuple = DEFAULT_PARTITION_SIZES
+    topologies: tuple = DEFAULT_TOPOLOGIES
+
+    @classmethod
+    def paper(cls):
+        """The paper's batch: 12 small + 4 large at reconstructed sizes."""
+        return cls("paper", 12, 4, 55, 110, 6_000, 14_000)
+
+    @classmethod
+    def smoke(cls):
+        """Reduced sizes for fast runs with the same qualitative shape."""
+        return cls("smoke", 6, 2, 30, 60, 1_500, 3_500,
+                   partition_sizes=(1, 4, 16),
+                   topologies=("linear", "mesh"))
+
+    def batch_kwargs(self, app):
+        if app == "matmul":
+            sizes = {"small_size": self.matmul_small,
+                     "large_size": self.matmul_large}
+        elif app == "sort":
+            sizes = {"small_size": self.sort_small,
+                     "large_size": self.sort_large}
+        else:
+            raise ValueError(f"unknown app {app!r}")
+        return {"num_small": self.num_small, "num_large": self.num_large,
+                **sizes}
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """One of the paper's evaluation figures."""
+
+    number: int
+    app: str
+    architecture: str
+    title: str
+
+    @property
+    def experiment_id(self):
+        return f"E{self.number - 2}"  # Figure 3 -> E1, ... Figure 6 -> E4
+
+
+_FIGURES = {
+    3: FigureSpec(3, "matmul", "fixed",
+                  "Mean response time, matrix multiplication, fixed "
+                  "software architecture"),
+    4: FigureSpec(4, "matmul", "adaptive",
+                  "Mean response time, matrix multiplication, adaptive "
+                  "software architecture"),
+    5: FigureSpec(5, "sort", "fixed",
+                  "Mean response time, sort, fixed software architecture"),
+    6: FigureSpec(6, "sort", "adaptive",
+                  "Mean response time, sort, adaptive software architecture"),
+}
+
+
+def figure_spec(number):
+    """Spec for one of the paper's figures (3-6)."""
+    try:
+        return _FIGURES[number]
+    except KeyError:
+        raise ValueError(
+            f"the paper's evaluation has Figures 3-6; got {number}"
+        ) from None

@@ -1,0 +1,89 @@
+"""Text and CSV rendering of experiment grids."""
+
+from __future__ import annotations
+
+import io
+
+
+def _series(cells):
+    """Group cells into {policy: {label: mean_rt}} preserving order."""
+    series = {}
+    labels = []
+    for cell in cells:
+        series.setdefault(cell.policy, {})[cell.label] = cell.mean_response_time
+        if cell.label not in labels:
+            labels.append(cell.label)
+    return series, labels
+
+
+def format_grid(cells, title=""):
+    """Render a figure's cells as the paper's two-series table.
+
+    One row per grid label (e.g. ``8L``), one column per policy, plus a
+    ratio column (time-sharing / static) so the winner is immediate.
+    """
+    series, labels = _series(cells)
+    policies = list(series)
+    widths = [max(6, *(len(lbl) for lbl in labels))]
+    header = ["config"] + policies + (["ts/static"]
+                                      if {"static", "timesharing"} <= set(policies)
+                                      else [])
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    colw = 14
+    out.write(header[0].ljust(widths[0]))
+    for h in header[1:]:
+        out.write(h.rjust(colw))
+    out.write("\n")
+    out.write("-" * (widths[0] + colw * (len(header) - 1)) + "\n")
+    for label in labels:
+        out.write(label.ljust(widths[0]))
+        for policy in policies:
+            value = series[policy].get(label)
+            out.write((f"{value:.3f}" if value is not None else "-").rjust(colw))
+        if "ts/static" in header:
+            s = series["static"].get(label)
+            t = series["timesharing"].get(label)
+            if s and t:
+                out.write(f"{t / s:.2f}".rjust(colw))
+            else:
+                out.write("-".rjust(colw))
+        out.write("\n")
+    return out.getvalue()
+
+
+def grid_to_csv(cells):
+    """CSV dump of a grid (one row per cell)."""
+    out = io.StringIO()
+    out.write("figure,app,architecture,partition_size,topology,policy,"
+              "label,mean_response_time,makespan,memory_wait,"
+              "cpu_utilization\n")
+    for c in cells:
+        out.write(
+            f"{c.figure},{c.app},{c.architecture},{c.partition_size},"
+            f"{c.topology},{c.policy},{c.label},"
+            f"{c.mean_response_time:.6f},{c.makespan:.6f},"
+            f"{c.memory_wait:.6f},{c.cpu_utilization:.6f}\n"
+        )
+    return out.getvalue()
+
+
+def format_ablation(rows, columns, title=""):
+    """Render ablation rows (list of dicts) as an aligned table."""
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    widths = [max(len(col), 12) for col in columns]
+    for col, w in zip(columns, widths):
+        out.write(col.rjust(w + 2))
+    out.write("\n")
+    out.write("-" * (sum(widths) + 2 * len(widths)) + "\n")
+    for row in rows:
+        for col, w in zip(columns, widths):
+            value = row.get(col, "")
+            if isinstance(value, float):
+                value = f"{value:.3f}"
+            out.write(str(value).rjust(w + 2))
+        out.write("\n")
+    return out.getvalue()

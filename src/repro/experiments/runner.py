@@ -1,0 +1,135 @@
+"""Grid runner: one cell = (policy family, partition size, topology).
+
+For every cell the runner reports the paper's metric — mean batch
+response time — with the static policy fairly averaged over its best
+(small-jobs-first) and worst (large-jobs-first) FCFS orderings, exactly
+as Section 5.1 prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import (
+    HybridPolicy,
+    MulticomputerSystem,
+    StaticSpaceSharing,
+    SystemConfig,
+    TimeSharing,
+)
+from repro.workload import standard_batch
+
+
+@dataclass
+class GridCell:
+    """Result of one grid point."""
+
+    figure: int
+    app: str
+    architecture: str
+    partition_size: int
+    topology: str
+    policy: str
+    #: The paper label, e.g. "8L".
+    label: str
+    mean_response_time: float
+    makespan: float
+    #: Aggregate waiting on memory (job + mailbox regions), seconds.
+    memory_wait: float
+    #: Mean CPU utilisation over the run.
+    cpu_utilization: float
+
+    def row(self):
+        return (self.label, self.policy, self.mean_response_time)
+
+
+def _policy_for(kind, partition_size, num_nodes):
+    if kind == "static":
+        return StaticSpaceSharing(partition_size)
+    if kind == "timesharing":
+        if partition_size == num_nodes:
+            return TimeSharing()
+        return HybridPolicy(partition_size)
+    raise ValueError(f"unknown policy family {kind!r}")
+
+
+def run_static_averaged(config, partition_size, batch):
+    """Static policy: average of best and worst FCFS orderings.
+
+    Returns (mean_response_time, best_result, worst_result), matching
+    Section 5.1's fairness rule for comparing against time-sharing.
+    """
+    best = MulticomputerSystem(
+        config, StaticSpaceSharing(partition_size)
+    ).run_batch(batch.ordered("best"), label="static:best")
+    worst = MulticomputerSystem(
+        config, StaticSpaceSharing(partition_size)
+    ).run_batch(batch.ordered("worst"), label="static:worst")
+    mean = (best.mean_response_time + worst.mean_response_time) / 2.0
+    return mean, best, worst
+
+
+def run_cell(figure, app, architecture, partition_size, topology,
+             policy_kind, scale, transputer=None, system_overrides=None):
+    """Run one grid cell and return a :class:`GridCell`."""
+    kwargs = {"num_nodes": 16, "topology": topology}
+    kwargs.update(system_overrides or {})
+    if transputer is not None:
+        kwargs["transputer"] = transputer
+    config = SystemConfig(**kwargs)
+    batch = standard_batch(app, architecture=architecture,
+                           **scale.batch_kwargs(app))
+    label = f"{partition_size}{topology[0].upper()}"
+
+    if policy_kind == "static":
+        mean, best, worst = run_static_averaged(config, partition_size, batch)
+        snap = best.snapshot
+        makespan = (best.makespan + worst.makespan) / 2.0
+    else:
+        policy = _policy_for(policy_kind, partition_size, config.num_nodes)
+        result = MulticomputerSystem(config, policy).run_batch(batch)
+        mean = result.mean_response_time
+        snap = result.snapshot
+        makespan = result.makespan
+
+    return GridCell(
+        figure=figure,
+        app=app,
+        architecture=architecture,
+        partition_size=partition_size,
+        topology=topology,
+        policy=policy_kind,
+        label=label,
+        mean_response_time=mean,
+        makespan=makespan,
+        memory_wait=snap.memory_wait_time + snap.mailbox_wait_time,
+        cpu_utilization=snap.mean_cpu_utilization,
+    )
+
+
+def run_figure(spec, scale, transputer=None, system_overrides=None,
+               progress=None):
+    """Regenerate one of the paper's figures as a list of GridCells.
+
+    The paper's plot has a static and a time-sharing/hybrid series over
+    the partition-size x topology grid; hypercube is skipped at 16
+    nodes (one transputer link is reserved for the host).  Cells with
+    the same partition size but different topology are identical at
+    p = 1 (no links), so p = 1 runs once under the first topology.
+    """
+    cells = []
+    for p in scale.partition_sizes:
+        topologies = scale.topologies if p > 1 else scale.topologies[:1]
+        for topo in topologies:
+            if topo == "hypercube" and p >= 16:
+                continue  # not configurable on the real machine
+            for policy_kind in ("static", "timesharing"):
+                cell = run_cell(
+                    spec.number, spec.app, spec.architecture, p, topo,
+                    policy_kind, scale, transputer=transputer,
+                    system_overrides=system_overrides,
+                )
+                cells.append(cell)
+                if progress is not None:
+                    progress(cell)
+    return cells

@@ -1,0 +1,82 @@
+"""Calibration sensitivity: how robust is the headline result?
+
+The reproduction's claim is a *shape* — static space-sharing beats
+time-sharing for the paper's batch.  A shape that only holds at one
+magic set of constants would be worthless, so this module perturbs each
+calibrated hardware constant across a range and re-measures the
+headline ratio (time-sharing / static mean response at one 16-node
+partition, matmul fixed).  Ratios above 1.0 mean the finding survives.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core import MulticomputerSystem, SystemConfig, TimeSharing
+from repro.experiments.runner import run_static_averaged
+from repro.transputer import TransputerConfig
+from repro.workload import standard_batch
+
+#: Knob -> multiplicative perturbations applied to the default value.
+DEFAULT_KNOBS = {
+    "cpu_ops_per_second": (0.5, 2.0),
+    "link_bandwidth": (0.5, 2.0),
+    "copy_bytes_per_second": (0.5, 2.0),
+    "hop_software_overhead": (0.5, 2.0),
+    "context_switch_overhead": (0.0, 4.0),
+    "message_overhead": (0.5, 2.0),
+    "scheduler_quantum": (0.2, 5.0),
+}
+
+
+def headline_ratio(transputer, topology="linear", architecture="fixed"):
+    """TS/static mean-response ratio at one 16-node partition."""
+    config = SystemConfig(num_nodes=16, topology=topology,
+                          transputer=transputer)
+    batch = standard_batch("matmul", architecture=architecture)
+    static_rt, _, _ = run_static_averaged(config, 16, batch)
+    ts = MulticomputerSystem(config, TimeSharing()).run_batch(batch)
+    return ts.mean_response_time / static_rt
+
+
+def sensitivity_sweep(knobs=None, topology="linear", architecture="fixed"):
+    """Perturb each knob independently; return rows of headline ratios.
+
+    Each row holds the knob name, the factor applied, the perturbed
+    value, and the resulting TS/static ratio.  The baseline row uses the
+    default calibration.
+    """
+    knobs = dict(knobs if knobs is not None else DEFAULT_KNOBS)
+    rows = [{
+        "knob": "(baseline)",
+        "factor": 1.0,
+        "value": "-",
+        "ts/static": headline_ratio(TransputerConfig(), topology,
+                                    architecture),
+    }]
+    defaults = TransputerConfig()
+    for knob, factors in knobs.items():
+        base = getattr(defaults, knob)
+        for factor in factors:
+            value = base * factor
+            transputer = dataclasses.replace(defaults, **{knob: value})
+            try:
+                transputer.validate()
+            except ValueError:
+                continue
+            rows.append({
+                "knob": knob,
+                "factor": factor,
+                "value": f"{value:.3g}",
+                "ts/static": headline_ratio(transputer, topology,
+                                            architecture),
+            })
+    return rows, ["knob", "factor", "value", "ts/static"]
+
+
+def fraction_preserving_finding(rows):
+    """Fraction of sweep points where static still wins (ratio > 1)."""
+    ratios = [r["ts/static"] for r in rows]
+    if not ratios:
+        return 0.0
+    return sum(1 for r in ratios if r > 1.0) / len(ratios)

@@ -1,0 +1,113 @@
+"""Serialisation of configurations and results.
+
+Experiments are only reproducible if their configuration travels with
+their numbers.  This module round-trips the two configuration objects
+and flattens results for storage:
+
+- :func:`config_to_dict` / :func:`config_from_dict` — SystemConfig
+  (including the nested TransputerConfig) to/from plain dicts, JSON-safe;
+- :func:`result_to_dict` — a BatchResult (per-job record + system
+  counters) as a plain dict;
+- :func:`save_results` / :func:`load_results` — JSON files bundling a
+  configuration, a policy description, and any number of results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+from repro.core.system import SystemConfig
+from repro.transputer import TransputerConfig
+
+
+def config_to_dict(config):
+    """SystemConfig -> nested plain dict (JSON-safe)."""
+    if not isinstance(config, SystemConfig):
+        raise TypeError(f"expected SystemConfig, got {type(config).__name__}")
+    out = dataclasses.asdict(config)
+    return out
+
+
+def config_from_dict(data):
+    """Inverse of :func:`config_to_dict` (unknown keys are rejected)."""
+    data = dict(data)
+    transputer_data = data.pop("transputer", {})
+    known = {f.name for f in dataclasses.fields(TransputerConfig)}
+    unknown = set(transputer_data) - known
+    if unknown:
+        raise ValueError(f"unknown TransputerConfig fields: {sorted(unknown)}")
+    transputer = TransputerConfig(**transputer_data)
+    known = {f.name for f in dataclasses.fields(SystemConfig)} - {"transputer"}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(f"unknown SystemConfig fields: {sorted(unknown)}")
+    return SystemConfig(transputer=transputer, **data)
+
+
+def result_to_dict(result):
+    """BatchResult -> plain dict with per-job records and counters."""
+    snap = result.snapshot
+    return {
+        "label": result.label,
+        "mean_response_time": result.mean_response_time,
+        "std_response_time": result.std_response_time,
+        "max_response_time": result.max_response_time,
+        "makespan": result.makespan,
+        "mean_response_by_class": result.mean_response_by_class(),
+        "jobs": [
+            {
+                "name": job.name,
+                "size_class": job.size_class,
+                "submitted_at": job.submitted_at,
+                "started_at": job.started_at,
+                "completed_at": job.completed_at,
+                "response_time": job.response_time,
+                "num_processes": job.num_processes,
+            }
+            for job in result.jobs
+        ],
+        "system": {
+            "makespan": snap.makespan,
+            "mean_cpu_utilization": snap.mean_cpu_utilization,
+            "comm_cpu_time": snap.comm_cpu_time,
+            "app_cpu_time": snap.app_cpu_time,
+            "preemptions": snap.preemptions,
+            "dispatches": snap.dispatches,
+            "memory_wait_time": snap.memory_wait_time,
+            "mailbox_wait_time": snap.mailbox_wait_time,
+            "buffer_wait_time": snap.buffer_wait_time,
+            "peak_memory": snap.peak_memory,
+            "messages": snap.messages,
+            "bytes_sent": snap.bytes_sent,
+            "max_link_utilization": snap.max_link_utilization,
+        },
+    }
+
+
+def save_results(path, config, policy, results):
+    """Write a JSON bundle: configuration + policy + results."""
+    bundle = {
+        "format": "repro-results-v1",
+        "config": config_to_dict(config),
+        "policy": repr(policy),
+        "results": [result_to_dict(r) for r in results],
+    }
+    with open(path, "w") as fh:
+        json.dump(bundle, fh, indent=2, sort_keys=True)
+    return bundle
+
+
+def load_results(path):
+    """Read a bundle written by :func:`save_results`.
+
+    Returns ``(config, policy_repr, results_data)`` where results_data
+    is the list of plain dicts (simulation objects are not resurrected —
+    rerun the configuration to regenerate them exactly).
+    """
+    with open(path) as fh:
+        bundle = json.load(fh)
+    if bundle.get("format") != "repro-results-v1":
+        raise ValueError(f"not a repro results bundle: {path}")
+    return (config_from_dict(bundle["config"]), bundle["policy"],
+            bundle["results"])

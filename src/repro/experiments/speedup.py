@@ -1,0 +1,65 @@
+"""Single-job speedup and efficiency curves.
+
+Not a paper figure, but the quantity that explains the paper's grid:
+static space-sharing at partition size p serves each job with the
+machine's *single-job* speedup S(p), and the static-vs-time-sharing
+balance is precisely a race between S(p)'s diminishing returns and
+multiprogramming's contention.  The sweep here measures S(p) and the
+parallel efficiency E(p) = S(p)/p for any application/topology pair.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import parallel_efficiency
+from repro.core import MulticomputerSystem, StaticSpaceSharing, SystemConfig
+from repro.workload import BatchWorkload, JobSpec
+
+
+def speedup_curve(app_factory, partition_sizes=(1, 2, 4, 8, 16),
+                  topology="mesh", transputer=None, system_overrides=None):
+    """Measure a single job's makespan across partition sizes.
+
+    ``app_factory(p)`` builds the application instance for a run on
+    ``p`` processors (usually ignoring p for a fixed problem size).
+
+    Returns rows with makespan, speedup vs p=1, and efficiency.
+    """
+    rows = []
+    t1 = None
+    for p in partition_sizes:
+        kwargs = {"num_nodes": p, "topology": topology}
+        kwargs.update(system_overrides or {})
+        if transputer is not None:
+            kwargs["transputer"] = transputer
+        if topology == "hypercube" and p >= 16:
+            continue
+        config = SystemConfig(**kwargs)
+        app = app_factory(p)
+        result = MulticomputerSystem(config, StaticSpaceSharing(p)).run_batch(
+            BatchWorkload([JobSpec(app, "solo")])
+        )
+        makespan = result.makespan
+        if t1 is None:
+            t1 = makespan * p / partition_sizes[0] if p != 1 else makespan
+        speedup = (t1 / makespan) if t1 else 0.0
+        rows.append({
+            "p": p,
+            "makespan": makespan,
+            "speedup": speedup,
+            "efficiency": parallel_efficiency(t1, makespan, p),
+        })
+    return rows, ["p", "makespan", "speedup", "efficiency"]
+
+
+def crossover_partition_size(rows, threshold=0.5):
+    """Largest p whose parallel efficiency stays above ``threshold``.
+
+    Below ~50% efficiency, serial execution on half the machine beats
+    parallel execution — the break-even that decides whether static
+    space-sharing should use larger or smaller partitions.
+    """
+    best = None
+    for row in rows:
+        if row["efficiency"] >= threshold:
+            best = row["p"]
+    return best

@@ -1,0 +1,143 @@
+"""Validation report: simulator vs closed-form oracles.
+
+Runs the battery of limiting-regime checks (single-server FCFS and
+processor-sharing batches, work conservation, M/M/c open arrivals,
+the per-job matmul model) and reports simulated vs predicted values
+with relative errors — a machine-checkable certificate that the
+simulator's queueing and timing skeleton is sound, independent of the
+Transputer calibration.
+
+Use :func:`validation_report` programmatically or
+``python -m repro.experiments --validate`` from the shell.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import (
+    batch_fcfs_mean_response,
+    batch_ps_mean_response,
+    matmul_job_time,
+    mmc_mean_response,
+)
+from repro.core import (
+    MulticomputerSystem,
+    StaticSpaceSharing,
+    SystemConfig,
+    TimeSharing,
+)
+from repro.transputer import TransputerConfig
+from repro.workload import (
+    BatchWorkload,
+    JobSpec,
+    MatMulApplication,
+    SyntheticForkJoin,
+    poisson_arrivals,
+)
+
+
+def _ideal_transputer(**overrides):
+    params = dict(
+        cpu_ops_per_second=1.0e6,
+        context_switch_overhead=0.0,
+        link_bandwidth=1.0e12,
+        link_startup=0.0,
+        hop_software_overhead=0.0,
+        copy_bytes_per_second=1.0e15,
+        message_overhead=0.0,
+    )
+    params.update(overrides)
+    return TransputerConfig(**params)
+
+
+def _row(check, simulated, predicted, tolerance):
+    error = abs(simulated - predicted) / predicted if predicted else 0.0
+    return {
+        "check": check,
+        "simulated": simulated,
+        "predicted": predicted,
+        "rel_error": error,
+        "tolerance": tolerance,
+        "ok": "yes" if error <= tolerance else "NO",
+    }
+
+
+def validation_report():
+    """Run all oracle checks; returns (rows, columns)."""
+    rows = []
+
+    # 1. Single-node FCFS batch == prefix-sum formula.
+    apps = [MatMulApplication(n, architecture="adaptive")
+            for n in (16, 24, 32)]
+    demands = [(a.total_ops(1) + a.n ** 2) / 1e6 for a in apps]
+    cfg = SystemConfig(num_nodes=1, topology="linear",
+                       transputer=_ideal_transputer())
+    result = MulticomputerSystem(cfg, StaticSpaceSharing(1)).run_batch(
+        BatchWorkload([JobSpec(a, "x") for a in apps])
+    )
+    rows.append(_row("single-node FCFS batch",
+                     result.mean_response_time,
+                     batch_fcfs_mean_response(demands), 0.01))
+
+    # 2. Single-node processor-sharing batch == staircase formula.
+    cfg = SystemConfig(num_nodes=1, topology="linear",
+                       transputer=_ideal_transputer(scheduler_quantum=1e-3))
+    result = MulticomputerSystem(cfg, TimeSharing()).run_batch(
+        BatchWorkload([JobSpec(a, "x") for a in apps])
+    )
+    rows.append(_row("single-node PS batch",
+                     result.mean_response_time,
+                     batch_ps_mean_response(demands), 0.05))
+
+    # 3. Work conservation: makespan == total work / p, zero comm.
+    app = MatMulApplication(64, architecture="adaptive")
+    cfg = SystemConfig(num_nodes=4, topology="linear",
+                       transputer=_ideal_transputer())
+    result = MulticomputerSystem(cfg, StaticSpaceSharing(4)).run_batch(
+        BatchWorkload([JobSpec(app, "solo")])
+    )
+    rows.append(_row("work conservation (1 job, 4 cpus)",
+                     result.makespan,
+                     app.total_ops(4) / 1e6 / 4, 0.1))
+
+    # 4. Open arrivals on 4 single-node partitions == M/M/4 (Erlang C).
+    rng = np.random.default_rng(11)
+    mean_ops = 2.0e5
+    arrival_rate = 10.0
+
+    def factory(r):
+        ops = max(float(r.exponential(mean_ops)), 1.0)
+        return JobSpec(SyntheticForkJoin(ops, architecture="adaptive",
+                                         message_bytes=0), "exp")
+
+    arrivals = poisson_arrivals(arrival_rate, 150.0, factory, rng)
+    cfg = SystemConfig(num_nodes=4, topology="linear",
+                       transputer=_ideal_transputer())
+    result = MulticomputerSystem(cfg, StaticSpaceSharing(1)).run_open(
+        arrivals
+    )
+    rows.append(_row("open M/M/4 mean response",
+                     result.mean_response_time,
+                     mmc_mean_response(arrival_rate, 1e6 / mean_ops, 4),
+                     0.25))
+
+    # 5. Calibrated single-job model tracks the calibrated simulator.
+    config = TransputerConfig()
+    n, p = 96, 4
+    cfg = SystemConfig(num_nodes=p, topology="ring", transputer=config)
+    app = MatMulApplication(n, architecture="adaptive")
+    result = MulticomputerSystem(cfg, StaticSpaceSharing(p)).run_batch(
+        BatchWorkload([JobSpec(app, "solo")])
+    )
+    rows.append(_row("matmul job-time model (p=4, calibrated)",
+                     result.makespan,
+                     matmul_job_time(n, p, config), 0.35))
+
+    columns = ["check", "simulated", "predicted", "rel_error", "tolerance",
+               "ok"]
+    return rows, columns
+
+
+def all_checks_pass(rows):
+    return all(row["ok"] == "yes" for row in rows)

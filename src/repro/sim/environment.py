@@ -1,0 +1,182 @@
+"""The simulation environment: clock, agenda, and event loop."""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from itertools import count
+
+from repro.sim.events import (
+    NORMAL,
+    URGENT,
+    AllOf,
+    AnyOf,
+    Event,
+    Process,
+    Timeout,
+)
+from repro.sim.exceptions import EmptySchedule, SimulationError
+
+
+class _StopSimulation(Exception):
+    """Internal control-flow exception that ends :meth:`Environment.run`."""
+
+    def __init__(self, event):
+        super().__init__(event)
+        self.event = event
+
+    @classmethod
+    def callback(cls, event):
+        raise cls(event)
+
+
+class Environment:
+    """Execution environment for a discrete-event simulation.
+
+    The environment maintains the simulated clock (:attr:`now`) and an
+    agenda of triggered events ordered by ``(time, priority, sequence)``.
+    Processing an event runs its callbacks, which typically resume
+    waiting processes, which trigger further events, and so on.
+
+    Determinism: the monotone sequence number guarantees FIFO processing
+    of same-time, same-priority events, so repeated runs of the same
+    model produce identical traces.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the clock (default ``0.0``).
+    """
+
+    def __init__(self, initial_time=0.0):
+        self._now = initial_time
+        self._queue = []  # heap of (time, priority, seq, event)
+        self._seq = count()
+        self._active_process = None
+        #: Number of events processed so far (useful for budget guards
+        #: and performance reporting).
+        self.events_processed = 0
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def now(self):
+        """The current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self):
+        """The process currently being advanced, if any."""
+        return self._active_process
+
+    def peek(self):
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    # -- event factories ---------------------------------------------------
+    def event(self):
+        """Create a new untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay, value=None):
+        """Create a :class:`Timeout` that fires after ``delay``."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator, name=None):
+        """Start a new :class:`Process` driving ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events):
+        """Condition that succeeds once all ``events`` have succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events):
+        """Condition that succeeds once any of ``events`` has succeeded."""
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def schedule(self, event, priority=NORMAL, delay=0.0):
+        """Place a triggered ``event`` on the agenda after ``delay``."""
+        heappush(self._queue, (self._now + delay, priority, next(self._seq), event))
+
+    def step(self):
+        """Process the next scheduled event.
+
+        Raises
+        ------
+        EmptySchedule
+            If no events remain.
+        """
+        try:
+            self._now, _, _, event = heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule("no scheduled events") from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        self.events_processed += 1
+
+        if not event._ok and not event._defused:
+            # An unhandled failure: surface it so bugs don't pass silently.
+            raise event._value
+
+    def run(self, until=None):
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None`` — run until the agenda is empty;
+            a number — run until the clock reaches that time;
+            an :class:`Event` — run until that event is processed, then
+            return its value (re-raising its exception if it failed).
+        """
+        if until is not None:
+            if not isinstance(until, Event):
+                at = float(until)
+                if at < self._now:
+                    raise ValueError(
+                        f"until ({at}) must not be before now ({self._now})"
+                    )
+                until = Event(self)
+                until._ok = True
+                until._value = None
+                # URGENT so the deadline fires before same-time model events.
+                heappush(self._queue, (at, URGENT, -1, until))
+            elif until.callbacks is None:
+                # Already processed.
+                if until._ok:
+                    return until._value
+                raise until._value
+            until.callbacks.append(_StopSimulation.callback)
+
+        try:
+            while True:
+                self.step()
+        except _StopSimulation as stop:
+            ev = stop.event
+            if ev._ok:
+                return ev._value
+            raise ev._value from None
+        except EmptySchedule:
+            if until is not None and until.callbacks is not None:
+                raise SimulationError(
+                    "simulation ran out of events before `until` fired"
+                ) from None
+            return None
+
+    def run_all(self, max_events=None):
+        """Run until the agenda is empty, optionally bounding event count.
+
+        Returns the number of events processed during this call.  A
+        ``max_events`` bound turns runaway models into a diagnosable
+        :class:`SimulationError` instead of a hang.
+        """
+        start = self.events_processed
+        while self._queue:
+            self.step()
+            if max_events is not None and self.events_processed - start > max_events:
+                raise SimulationError(f"exceeded {max_events} events")
+        return self.events_processed - start
+
+    def __repr__(self):
+        return f"<Environment now={self._now} queued={len(self._queue)}>"

@@ -1,0 +1,405 @@
+"""Event primitives for the discrete-event kernel.
+
+An :class:`Event` is a one-shot occurrence with an attached list of
+callbacks.  Triggering an event (``succeed`` / ``fail``) schedules it on
+the environment's agenda; when the environment processes it, every
+callback runs exactly once and the callback list is retired.
+
+A :class:`Process` wraps a Python generator.  The generator *yields*
+events; the process resumes (the generator is advanced) when the yielded
+event is processed.  A process is itself an event that triggers when its
+generator returns, so processes can wait for each other.
+"""
+
+from __future__ import annotations
+
+from repro.sim.exceptions import SimulationError, StopProcess
+
+#: Scheduling priority for events that must run before same-time normal
+#: events (used for interrupts and process initialisation).
+URGENT = 0
+#: Default scheduling priority.
+NORMAL = 1
+
+#: Sentinel for "event has not been triggered yet".
+PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that processes can wait for.
+
+    Parameters
+    ----------
+    env:
+        The :class:`~repro.sim.environment.Environment` the event belongs to.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env):
+        self.env = env
+        #: Callables invoked with the event when it is processed.  ``None``
+        #: once the event has been processed.
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = None
+        self._defused = False
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self):
+        """True once the event has been scheduled for processing."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self):
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self):
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._value is PENDING:
+            raise SimulationError(f"{self!r} has not yet been triggered")
+        return self._ok
+
+    @property
+    def value(self):
+        """The event's value (or failure exception). Only once triggered."""
+        if self._value is PENDING:
+            raise SimulationError(f"{self!r} has not yet been triggered")
+        return self._value
+
+    @property
+    def defused(self):
+        """True if a failure has been marked as handled."""
+        return self._defused
+
+    def defuse(self):
+        """Mark a failed event's exception as handled.
+
+        Failed events that are never waited on would otherwise crash the
+        simulation when processed.
+        """
+        self._defused = True
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value=None):
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception):
+        """Trigger the event as failed with ``exception``."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger(self, event):
+        """Trigger this event with the state of another (for chaining)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    # -- composition ---------------------------------------------------
+    def __and__(self, other):
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other):
+        return AnyOf(self.env, [self, other])
+
+    def __repr__(self):
+        return f"<{type(self).__name__} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env, delay, value=None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    def __repr__(self):
+        return f"<Timeout({self.delay}) at {id(self):#x}>"
+
+
+class Initialize(Event):
+    """Internal event that starts a freshly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, env, process):
+        super().__init__(env)
+        self.callbacks = [process._resume]
+        self._ok = True
+        self._value = None
+        env.schedule(self, priority=URGENT)
+
+
+class Interrupt(Exception):
+    """Asynchronous exception thrown into an interrupted process.
+
+    ``cause`` carries arbitrary context supplied by the interrupter (for
+    example a :class:`~repro.sim.resources.Preempted` record).
+    """
+
+    @property
+    def cause(self):
+        return self.args[0]
+
+    def __str__(self):
+        return f"Interrupt({self.cause!r})"
+
+
+class _InterruptEvent(Event):
+    """Internal urgent event that delivers an Interrupt to a process."""
+
+    __slots__ = ()
+
+    def __init__(self, env, process, cause):
+        super().__init__(env)
+        self._ok = False
+        self._value = Interrupt(cause)
+        self._defused = True
+        self.callbacks = [process._resume_interrupt]
+        env.schedule(self, priority=URGENT)
+
+
+class Process(Event):
+    """A generator-driven simulation process.
+
+    The process is an event that triggers when the generator returns
+    (successfully, with the generator's return value) or raises
+    (failed, with the exception).
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env, generator, name=None):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        #: The event this process is currently waiting on (None while
+        #: running or before start).
+        self._target = None
+        self.name = name or getattr(generator, "__name__", "process")
+        Initialize(env, self)
+
+    @property
+    def target(self):
+        """The event this process is currently waiting for."""
+        return self._target
+
+    @property
+    def is_alive(self):
+        """True until the generator has returned or raised."""
+        return self._value is PENDING
+
+    def interrupt(self, cause=None):
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a dead process or a process from within itself is an
+        error.  The interrupted process stops waiting for its current
+        target (the target's callback is removed) and resumes with the
+        Interrupt raised at its current ``yield``.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} has terminated; cannot interrupt")
+        if self is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        _InterruptEvent(self.env, self, cause)
+
+    # -- internal ------------------------------------------------------
+    def _resume_interrupt(self, event):
+        """Deliver an interrupt, detaching from the current target."""
+        if not self.is_alive:  # terminated between scheduling and delivery
+            return
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._resume(event)
+
+    def _resume(self, event):
+        """Advance the generator with the outcome of ``event``."""
+        if not self.is_alive:  # e.g. interrupted before initialisation ran
+            return
+        env = self.env
+        env._active_process = self
+        while True:
+            self._target = None
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    next_event = self._generator.throw(
+                        type(event._value), event._value, None
+                    )
+            except StopIteration as exc:
+                env._active_process = None
+                self._ok = True
+                self._value = exc.value
+                env.schedule(self)
+                return
+            except StopProcess as exc:
+                env._active_process = None
+                self._ok = True
+                self._value = exc.value
+                env.schedule(self)
+                return
+            except BaseException as exc:
+                env._active_process = None
+                self._ok = False
+                self._value = exc
+                env.schedule(self)
+                return
+
+            if not isinstance(next_event, Event):
+                env._active_process = None
+                err = SimulationError(
+                    f"process {self.name!r} yielded a non-event: {next_event!r}"
+                )
+                self._generator.close()
+                self._ok = False
+                self._value = err
+                env.schedule(self)
+                return
+
+            if next_event.callbacks is not None:
+                # Event pending or triggered-but-unprocessed: park.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+            # Already processed: consume its outcome immediately.
+            event = next_event
+
+        env._active_process = None
+
+    def __repr__(self):
+        return f"<Process({self.name}) at {id(self):#x}>"
+
+
+class ConditionValue:
+    """Ordered mapping of the events a condition has collected so far."""
+
+    def __init__(self):
+        self.events = []
+
+    def __getitem__(self, event):
+        if event not in self.events:
+            raise KeyError(str(event))
+        return event._value
+
+    def __contains__(self, event):
+        return event in self.events
+
+    def __eq__(self, other):
+        if isinstance(other, ConditionValue):
+            return self.todict() == other.todict()
+        return self.todict() == other
+
+    def __len__(self):
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def todict(self):
+        return {e: e._value for e in self.events}
+
+    def __repr__(self):
+        return f"<ConditionValue {self.todict()!r}>"
+
+
+class Condition(Event):
+    """Event that triggers when ``evaluate(events, n_done)`` is true.
+
+    Failed sub-events fail the condition immediately (and are defused).
+    """
+
+    __slots__ = ("_events", "_count", "_evaluate")
+
+    def __init__(self, env, evaluate, events):
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("events belong to different environments")
+        if self._evaluate(self._events, 0) and not self._events:
+            self.succeed(ConditionValue())
+            return
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+        if not self.triggered and self._evaluate(self._events, self._count):
+            self.succeed(self._collect())
+
+    def _collect(self):
+        value = ConditionValue()
+        for event in self._events:
+            if event.callbacks is None and event._ok:
+                value.events.append(event)
+        return value
+
+    def _check(self, event):
+        if self.triggered:
+            if not event._ok:
+                event._defused = True
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._evaluate(self._events, self._count):
+            self.succeed(self._collect())
+
+    @staticmethod
+    def all_events(events, count):
+        return len(events) == count
+
+    @staticmethod
+    def any_events(events, count):
+        return count > 0 or not events
+
+
+class AllOf(Condition):
+    """Condition that succeeds when all of ``events`` have succeeded."""
+
+    __slots__ = ()
+
+    def __init__(self, env, events):
+        super().__init__(env, Condition.all_events, events)
+
+
+class AnyOf(Condition):
+    """Condition that succeeds when any of ``events`` has succeeded."""
+
+    __slots__ = ()
+
+    def __init__(self, env, events):
+        super().__init__(env, Condition.any_events, events)

@@ -1,0 +1,158 @@
+"""Measurement probes for simulation models.
+
+Three small instruments that the experiment harness and examples use to
+look *inside* a run instead of only at its end state:
+
+- :class:`TimeWeightedValue` — tracks a piecewise-constant quantity
+  (queue length, memory in use) and integrates it over time, yielding
+  exact time-averages.
+- :class:`Tally` — classic observation statistics (count/mean/min/max/
+  variance) computed online with Welford's algorithm.
+- :class:`Sampler` — a periodic probe process that records a callable's
+  value on a fixed cadence, producing a (time, value) series suitable
+  for the ASCII chart helpers.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class TimeWeightedValue:
+    """Time-integral of a piecewise-constant signal.
+
+    Call :meth:`update` whenever the underlying quantity changes; the
+    probe charges the elapsed interval at the previous value.
+    """
+
+    def __init__(self, env, initial=0.0):
+        self.env = env
+        self._value = initial
+        self._last_change = env.now
+        self._area = 0.0
+        self._max = initial
+        self._min = initial
+        self._start = env.now
+
+    @property
+    def value(self):
+        return self._value
+
+    @property
+    def max(self):
+        return self._max
+
+    @property
+    def min(self):
+        return self._min
+
+    def update(self, new_value):
+        """Record a change of the tracked quantity at the current time."""
+        now = self.env.now
+        self._area += self._value * (now - self._last_change)
+        self._last_change = now
+        self._value = new_value
+        self._max = max(self._max, new_value)
+        self._min = min(self._min, new_value)
+
+    def add(self, delta):
+        """Convenience: shift the tracked quantity by ``delta``."""
+        self.update(self._value + delta)
+
+    def time_average(self, until=None):
+        """Exact time-average of the signal from creation to ``until``."""
+        until = self.env.now if until is None else until
+        elapsed = until - self._start
+        if elapsed <= 0:
+            return self._value
+        area = self._area + self._value * (until - self._last_change)
+        return area / elapsed
+
+
+class Tally:
+    """Online mean/variance/extrema of a stream of observations."""
+
+    def __init__(self):
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, x):
+        self.count += 1
+        delta = x - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (x - self._mean)
+        self._min = min(self._min, x)
+        self._max = max(self._max, x)
+
+    @property
+    def mean(self):
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self):
+        """Sample variance (n-1 denominator)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self):
+        return math.sqrt(self.variance)
+
+    @property
+    def cv(self):
+        """Coefficient of variation (std/mean)."""
+        return self.std / self.mean if self.mean else 0.0
+
+    @property
+    def min(self):
+        return self._min if self.count else 0.0
+
+    @property
+    def max(self):
+        return self._max if self.count else 0.0
+
+    def __repr__(self):
+        return (f"<Tally n={self.count} mean={self.mean:.4g} "
+                f"std={self.std:.4g}>")
+
+
+class Sampler:
+    """Periodic probe: records ``fn()`` every ``interval`` sim-seconds.
+
+    The probe runs as its own simulation process; stop it by letting the
+    simulation end or by calling :meth:`stop`.
+    """
+
+    def __init__(self, env, fn, interval, name="sampler"):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.env = env
+        self.fn = fn
+        self.interval = interval
+        self.samples = []  # (time, value)
+        self._running = True
+        self.process = env.process(self._loop(), name=name)
+
+    def _loop(self):
+        while self._running:
+            self.samples.append((self.env.now, self.fn()))
+            yield self.env.timeout(self.interval)
+
+    def stop(self):
+        self._running = False
+
+    @property
+    def times(self):
+        return [t for t, _ in self.samples]
+
+    @property
+    def values(self):
+        return [v for _, v in self.samples]
+
+    def mean(self):
+        vals = self.values
+        return sum(vals) / len(vals) if vals else 0.0

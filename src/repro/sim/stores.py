@@ -1,0 +1,222 @@
+"""Bulk-quantity containers and object stores for the DES kernel.
+
+- :class:`Container` models a divisible quantity (bytes of memory, buffer
+  credits): ``put(amount)`` / ``get(amount)`` block until the operation
+  can complete without over- or under-flowing.
+- :class:`Store` is a FIFO queue of arbitrary Python objects with a
+  capacity bound; :class:`FilterStore` lets getters wait for an item
+  matching a predicate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.sim.events import Event
+
+
+class ContainerPut(Event):
+    __slots__ = ("amount",)
+
+    def __init__(self, container, amount):
+        if amount <= 0:
+            raise ValueError(f"put amount must be positive, got {amount}")
+        super().__init__(container.env)
+        self.amount = amount
+        container._put_waiters.append(self)
+        container._trigger()
+
+
+class ContainerGet(Event):
+    __slots__ = ("amount",)
+
+    def __init__(self, container, amount):
+        if amount <= 0:
+            raise ValueError(f"get amount must be positive, got {amount}")
+        super().__init__(container.env)
+        self.amount = amount
+        container._get_waiters.append(self)
+        container._trigger()
+
+
+class Container:
+    """A divisible resource pool with blocking put/get.
+
+    Waiters are served strictly FIFO *within each direction*; a blocked
+    get at the head of the queue blocks later, smaller gets (no
+    starvation of large requests).
+
+    Parameters
+    ----------
+    env: Environment
+    capacity: maximum level (default unbounded).
+    init: initial level.
+    """
+
+    def __init__(self, env, capacity=float("inf"), init=0.0):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise ValueError("init must lie in [0, capacity]")
+        self.env = env
+        self._capacity = capacity
+        self._level = init
+        self._put_waiters = deque()
+        self._get_waiters = deque()
+
+    @property
+    def capacity(self):
+        return self._capacity
+
+    @property
+    def level(self):
+        """Quantity currently available."""
+        return self._level
+
+    def put(self, amount):
+        """Add ``amount``; the event succeeds once it fits under capacity."""
+        return ContainerPut(self, amount)
+
+    def get(self, amount):
+        """Remove ``amount``; the event succeeds once the level suffices."""
+        return ContainerGet(self, amount)
+
+    def cancel(self, event):
+        """Withdraw a still-pending put/get event from the wait queues."""
+        if event in self._put_waiters:
+            self._put_waiters.remove(event)
+        elif event in self._get_waiters:
+            self._get_waiters.remove(event)
+        self._trigger()
+
+    def _trigger(self):
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._get_waiters:
+                head = self._get_waiters[0]
+                if head.amount <= self._level:
+                    self._get_waiters.popleft()
+                    self._level -= head.amount
+                    head.succeed(head.amount)
+                    progressed = True
+            if self._put_waiters:
+                head = self._put_waiters[0]
+                if self._level + head.amount <= self._capacity:
+                    self._put_waiters.popleft()
+                    self._level += head.amount
+                    head.succeed(head.amount)
+                    progressed = True
+
+    def __repr__(self):
+        return f"<Container level={self._level}/{self._capacity}>"
+
+
+class StorePut(Event):
+    __slots__ = ("item",)
+
+    def __init__(self, store, item):
+        super().__init__(store.env)
+        self.item = item
+        store._put_waiters.append(self)
+        store._trigger()
+
+
+class StoreGet(Event):
+    __slots__ = ("filter",)
+
+    def __init__(self, store, filter=None):
+        super().__init__(store.env)
+        self.filter = filter
+        store._get_waiters.append(self)
+        store._trigger()
+
+
+class Store:
+    """FIFO object queue with optional capacity bound."""
+
+    def __init__(self, env, capacity=float("inf")):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self._capacity = capacity
+        self.items = deque()
+        self._put_waiters = deque()
+        self._get_waiters = deque()
+
+    @property
+    def capacity(self):
+        return self._capacity
+
+    def __len__(self):
+        return len(self.items)
+
+    def put(self, item):
+        """Append ``item``; blocks while the store is full."""
+        return StorePut(self, item)
+
+    def get(self):
+        """Remove and return the oldest item; blocks while empty."""
+        return StoreGet(self)
+
+    def cancel(self, event):
+        """Withdraw a still-pending put/get event."""
+        if event in self._put_waiters:
+            self._put_waiters.remove(event)
+        elif event in self._get_waiters:
+            self._get_waiters.remove(event)
+        self._trigger()
+
+    def _trigger(self):
+        progressed = True
+        while progressed:
+            progressed = False
+            # Admit puts while there is room.
+            while self._put_waiters and len(self.items) < self._capacity:
+                put = self._put_waiters.popleft()
+                self.items.append(put.item)
+                put.succeed()
+                progressed = True
+            # Serve gets while items are available.
+            served = self._serve_gets()
+            progressed = progressed or served
+
+    def _serve_gets(self):
+        served = False
+        while self._get_waiters and self.items:
+            get = self._get_waiters.popleft()
+            get.succeed(self.items.popleft())
+            served = True
+        return served
+
+
+class FilterStore(Store):
+    """Store whose getters may wait for an item matching a predicate.
+
+    ``get(lambda item: ...)`` succeeds with the *oldest* matching item.
+    Getters are examined in FIFO order but a blocked getter does not
+    block later getters whose predicates match available items.
+    """
+
+    def get(self, filter=None):
+        return StoreGet(self, filter)
+
+    def _serve_gets(self):
+        served = False
+        again = True
+        while again:
+            again = False
+            for get in list(self._get_waiters):
+                if get.triggered:
+                    continue
+                for item in self.items:
+                    if get.filter is None or get.filter(item):
+                        self.items.remove(item)
+                        self._get_waiters.remove(get)
+                        get.succeed(item)
+                        served = True
+                        again = True
+                        break
+                if again:
+                    break
+        return served

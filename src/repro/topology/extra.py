@@ -1,0 +1,133 @@
+"""Additional topologies and graph-theoretic property analysis.
+
+The paper's C4 crossbar switches can wire "almost all commonly used
+network topologies"; the four the paper evaluates live in
+:mod:`repro.topology.topologies`.  This module adds the other common
+ones (torus/ring-of-rings, star, binary tree, fully connected) for
+extension studies, plus the property calculations used when comparing
+networks: average distance, bisection width, and link counts.
+"""
+
+from __future__ import annotations
+
+from repro.topology.graph import Graph
+from repro.topology.topologies import Topology, mesh_dims
+
+
+def torus(nodes, dims=None):
+    """2-D torus: a mesh with wraparound links in both dimensions."""
+    nodes = tuple(nodes)
+    n = len(nodes)
+    if n < 1:
+        raise ValueError("torus size must be >= 1")
+    if dims is None:
+        dims = mesh_dims(n)
+    rows, cols = dims
+    if rows * cols != n:
+        raise ValueError(f"dims {dims} do not cover {n} nodes")
+    g = Graph(nodes=nodes)
+    for r in range(rows):
+        for c in range(cols):
+            i = r * cols + c
+            if cols > 1:
+                g.add_edge(nodes[i], nodes[r * cols + (c + 1) % cols])
+            if rows > 1:
+                g.add_edge(nodes[i], nodes[((r + 1) % rows) * cols + c])
+    return Topology("torus", nodes, g, dims=(rows, cols))
+
+
+def star(nodes):
+    """Star: node 0 is the hub; everything else is a leaf."""
+    nodes = tuple(nodes)
+    if len(nodes) < 1:
+        raise ValueError("star size must be >= 1")
+    g = Graph(nodes=nodes)
+    for leaf in nodes[1:]:
+        g.add_edge(nodes[0], leaf)
+    return Topology("star", nodes, g)
+
+
+def binary_tree(nodes):
+    """Complete binary tree in heap order (node i's children: 2i+1, 2i+2)."""
+    nodes = tuple(nodes)
+    if len(nodes) < 1:
+        raise ValueError("tree size must be >= 1")
+    g = Graph(nodes=nodes)
+    for i in range(len(nodes)):
+        for child in (2 * i + 1, 2 * i + 2):
+            if child < len(nodes):
+                g.add_edge(nodes[i], nodes[child])
+    return Topology("tree", nodes, g)
+
+
+def fully_connected(nodes):
+    """Complete graph: every pair directly linked (degree n-1)."""
+    nodes = tuple(nodes)
+    if len(nodes) < 1:
+        raise ValueError("size must be >= 1")
+    g = Graph(nodes=nodes)
+    for i, u in enumerate(nodes):
+        for v in nodes[i + 1:]:
+            g.add_edge(u, v)
+    return Topology("full", nodes, g)
+
+
+# -- property analysis -----------------------------------------------------
+def average_distance(graph):
+    """Mean hop count over all ordered node pairs (connected graphs)."""
+    nodes = graph.nodes
+    if len(nodes) < 2:
+        return 0.0
+    total = 0
+    pairs = 0
+    for src in nodes:
+        dist = graph.bfs_distances(src)
+        if len(dist) != len(nodes):
+            raise ValueError("average distance undefined: disconnected")
+        total += sum(d for node, d in dist.items() if node != src)
+        pairs += len(nodes) - 1
+    return total / pairs
+
+
+def bisection_width(topology):
+    """Links crossing an even halving of the node list.
+
+    Uses the canonical split (first half vs second half of the node
+    order), which matches the textbook value for the regular topologies
+    generated here (linear/ring/mesh/hypercube/torus).
+    """
+    nodes = list(topology.nodes)
+    half = set(nodes[: len(nodes) // 2])
+    return sum(
+        1 for u, v in topology.graph.edges
+        if (u in half) != (v in half)
+    )
+
+
+def link_count(graph):
+    """Number of bidirectional links."""
+    return len(graph.edges)
+
+
+def degree_histogram(graph):
+    """{degree: count} over all nodes."""
+    hist = {}
+    for n in graph.nodes:
+        d = graph.degree(n)
+        hist[d] = hist.get(d, 0) + 1
+    return dict(sorted(hist.items()))
+
+
+def compare_topologies(topologies):
+    """Property table (list of dicts) for a set of topologies."""
+    rows = []
+    for topo in topologies:
+        rows.append({
+            "label": topo.label,
+            "links": link_count(topo.graph),
+            "max_degree": topo.graph.max_degree(),
+            "diameter": topo.graph.diameter(),
+            "avg_distance": round(average_distance(topo.graph), 3),
+            "bisection": bisection_width(topo),
+        })
+    return rows

@@ -1,0 +1,144 @@
+"""A small undirected graph with the queries the network model needs.
+
+Deliberately not networkx: the simulator needs deterministic neighbour
+ordering (sorted node ids) so that routing tables — and therefore whole
+simulations — are reproducible, and the handful of algorithms required
+(BFS shortest paths, connectivity, diameter) are trivial to provide.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class Graph:
+    """Undirected graph over hashable, orderable node ids."""
+
+    def __init__(self, nodes=(), edges=()):
+        self._adj = {}
+        for n in nodes:
+            self.add_node(n)
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # -- construction ----------------------------------------------------
+    def add_node(self, n):
+        self._adj.setdefault(n, set())
+
+    def add_edge(self, u, v):
+        if u == v:
+            raise ValueError(f"self-loop on {u!r} not allowed")
+        self.add_node(u)
+        self.add_node(v)
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+
+    def remove_edge(self, u, v):
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def nodes(self):
+        """Node ids in sorted order."""
+        return sorted(self._adj)
+
+    @property
+    def edges(self):
+        """Edges as sorted (u, v) tuples with u < v, in sorted order."""
+        out = set()
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                out.add((u, v) if u < v else (v, u))
+        return sorted(out)
+
+    def __len__(self):
+        return len(self._adj)
+
+    def __contains__(self, n):
+        return n in self._adj
+
+    def neighbors(self, n):
+        """Neighbours of ``n`` in sorted (deterministic) order."""
+        return sorted(self._adj[n])
+
+    def degree(self, n):
+        return len(self._adj[n])
+
+    def max_degree(self):
+        return max((len(nbrs) for nbrs in self._adj.values()), default=0)
+
+    def has_edge(self, u, v):
+        return v in self._adj.get(u, ())
+
+    # -- algorithms ----------------------------------------------------------
+    def bfs_distances(self, source):
+        """Hop distance from ``source`` to every reachable node."""
+        dist = {source: 0}
+        frontier = deque([source])
+        while frontier:
+            u = frontier.popleft()
+            for v in self.neighbors(u):
+                if v not in dist:
+                    dist[v] = dist[u] + 1
+                    frontier.append(v)
+        return dist
+
+    def bfs_parents(self, source):
+        """Deterministic BFS tree: parent of each node on a shortest path
+        *towards* ``source``.
+
+        Ties are broken by exploring neighbours in sorted order, so the
+        parent of each node is the smallest-id predecessor at minimum
+        distance — two runs always build identical trees.
+        """
+        parent = {source: None}
+        frontier = deque([source])
+        while frontier:
+            u = frontier.popleft()
+            for v in self.neighbors(u):
+                if v not in parent:
+                    parent[v] = u
+                    frontier.append(v)
+        return parent
+
+    def shortest_path(self, source, target):
+        """One deterministic shortest path [source, ..., target]."""
+        parent = self.bfs_parents(source)
+        if target not in parent:
+            raise ValueError(f"no path from {source!r} to {target!r}")
+        path = [target]
+        while path[-1] != source:
+            path.append(parent[path[-1]])
+        path.reverse()
+        return path
+
+    def is_connected(self):
+        if not self._adj:
+            return True
+        first = next(iter(self._adj))
+        return len(self.bfs_distances(first)) == len(self._adj)
+
+    def diameter(self):
+        """Longest shortest-path hop count (graph must be connected)."""
+        if len(self._adj) <= 1:
+            return 0
+        best = 0
+        for n in self._adj:
+            dist = self.bfs_distances(n)
+            if len(dist) != len(self._adj):
+                raise ValueError("diameter undefined: graph is disconnected")
+            best = max(best, max(dist.values()))
+        return best
+
+    def subgraph(self, nodes):
+        """Induced subgraph over ``nodes``."""
+        keep = set(nodes)
+        g = Graph(nodes=keep)
+        for u, v in self.edges:
+            if u in keep and v in keep:
+                g.add_edge(u, v)
+        return g
+
+    def __repr__(self):
+        return f"<Graph n={len(self)} m={len(self.edges)}>"

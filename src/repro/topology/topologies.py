@@ -1,0 +1,205 @@
+"""Generators for the interconnect topologies evaluated in the paper.
+
+The experiments configure each *partition* as its own network: label
+``8L`` means two partitions of eight processors, each wired as a linear
+array.  Partition sizes are powers of two from 1 to 16.  The physical
+machine's sixteen transputers are hard-wired into four four-processor
+pipelines ("naps"); :func:`nap_pipelines` reproduces that base wiring.
+
+A 16-node hypercube needs degree 4 on every node, but one link of one
+transputer connects the front-end host, so — exactly as in the paper —
+``hypercube(16)`` is rejected unless ``allow_full=True``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.topology.graph import Graph
+
+#: Single-letter topology codes used in the paper's figure labels.
+TOPOLOGY_CODES = {
+    "L": "linear",
+    "R": "ring",
+    "M": "mesh",
+    "H": "hypercube",
+}
+
+_NAMES_TO_CODES = {v: k for k, v in TOPOLOGY_CODES.items()}
+
+
+@dataclass(frozen=True)
+class Topology:
+    """A named, generated network over an explicit node-id list.
+
+    Attributes
+    ----------
+    name:
+        Canonical topology name ("linear", "ring", "mesh", "hypercube").
+    nodes:
+        The node ids, in order; position in this list is the *logical*
+        index the generators wire (so partitions can reuse global ids).
+    graph:
+        The generated :class:`Graph`.
+    dims:
+        Mesh dimensions (rows, cols) if applicable, else None.
+    """
+
+    name: str
+    nodes: tuple
+    graph: Graph = field(compare=False)
+    dims: tuple | None = None
+
+    @property
+    def code(self):
+        """Single-letter code as used in the paper's figures.
+
+        Extension topologies outside the paper's four use their
+        capitalised initial.
+        """
+        return _NAMES_TO_CODES.get(self.name, self.name[:1].upper())
+
+    @property
+    def size(self):
+        return len(self.nodes)
+
+    @property
+    def diameter(self):
+        return self.graph.diameter()
+
+    @property
+    def label(self):
+        """Figure label, e.g. ``8L`` for an 8-node linear array."""
+        return f"{self.size}{self.code}"
+
+    def __repr__(self):
+        return f"<Topology {self.label} nodes={self.nodes}>"
+
+
+def _check_size(name, n, power_of_two=False):
+    if n < 1:
+        raise ValueError(f"{name} size must be >= 1, got {n}")
+    if power_of_two and n & (n - 1):
+        raise ValueError(f"{name} size must be a power of two, got {n}")
+
+
+def linear_array(nodes):
+    """Linear array (open chain): degree <= 2, diameter n-1."""
+    nodes = tuple(nodes)
+    _check_size("linear array", len(nodes))
+    g = Graph(nodes=nodes)
+    for a, b in zip(nodes, nodes[1:]):
+        g.add_edge(a, b)
+    return Topology("linear", nodes, g)
+
+
+def ring(nodes):
+    """Ring (closed chain): degree 2, diameter floor(n/2)."""
+    nodes = tuple(nodes)
+    _check_size("ring", len(nodes))
+    g = Graph(nodes=nodes)
+    for a, b in zip(nodes, nodes[1:]):
+        g.add_edge(a, b)
+    if len(nodes) > 2:
+        g.add_edge(nodes[-1], nodes[0])
+    return Topology("ring", nodes, g)
+
+
+def mesh_dims(n):
+    """Near-square (rows, cols) factorisation used for n-node meshes.
+
+    Powers of two give the classic shapes: 2 -> 1x2, 4 -> 2x2, 8 -> 2x4,
+    16 -> 4x4.  General n uses the largest divisor pair closest to square.
+    """
+    _check_size("mesh", n)
+    best = (1, n)
+    r = 1
+    while r * r <= n:
+        if n % r == 0:
+            best = (r, n // r)
+        r += 1
+    return best
+
+
+def mesh(nodes, dims=None):
+    """2-D mesh (no wraparound) in row-major order over ``nodes``."""
+    nodes = tuple(nodes)
+    n = len(nodes)
+    _check_size("mesh", n)
+    if dims is None:
+        dims = mesh_dims(n)
+    rows, cols = dims
+    if rows * cols != n:
+        raise ValueError(f"dims {dims} do not cover {n} nodes")
+    g = Graph(nodes=nodes)
+    for r in range(rows):
+        for c in range(cols):
+            i = r * cols + c
+            if c + 1 < cols:
+                g.add_edge(nodes[i], nodes[i + 1])
+            if r + 1 < rows:
+                g.add_edge(nodes[i], nodes[i + cols])
+    return Topology("mesh", nodes, g, dims=(rows, cols))
+
+
+def hypercube(nodes, allow_full=False):
+    """Binary hypercube: node i and j adjacent iff i^j is a power of two.
+
+    A 16-node hypercube requires all four links of every transputer, but
+    one link is reserved for the front-end host, so — as in the paper —
+    size 16 raises unless ``allow_full=True``.
+    """
+    nodes = tuple(nodes)
+    n = len(nodes)
+    _check_size("hypercube", n, power_of_two=True)
+    if n >= 16 and not allow_full:
+        raise ValueError(
+            "a 16-node hypercube is not configurable on the Transputer "
+            "system (one link is reserved for the host); pass "
+            "allow_full=True to build it anyway"
+        )
+    g = Graph(nodes=nodes)
+    dim = n.bit_length() - 1
+    for i in range(n):
+        for d in range(dim):
+            j = i ^ (1 << d)
+            if j > i:
+                g.add_edge(nodes[i], nodes[j])
+    return Topology("hypercube", nodes, g)
+
+
+def nap_pipelines(num_nodes=16, nap_size=4):
+    """The hard-wired base configuration: ``num_nodes/nap_size`` pipelines.
+
+    Each "nap" is a four-processor pipeline; naps are not interconnected
+    in the base wiring (the C4 crossbar switches add the configurable
+    links that the topology generators model).
+    """
+    if num_nodes % nap_size:
+        raise ValueError("num_nodes must be a multiple of nap_size")
+    g = Graph(nodes=range(num_nodes))
+    for base in range(0, num_nodes, nap_size):
+        for i in range(base, base + nap_size - 1):
+            g.add_edge(i, i + 1)
+    return g
+
+
+_GENERATORS = {
+    "linear": linear_array,
+    "ring": ring,
+    "mesh": mesh,
+    "hypercube": hypercube,
+}
+
+
+def make_topology(name, nodes, **kwargs):
+    """Build a topology by name or single-letter code over ``nodes``."""
+    key = TOPOLOGY_CODES.get(name, name).lower()
+    try:
+        gen = _GENERATORS[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology {name!r}; expected one of "
+            f"{sorted(_GENERATORS)} or codes {sorted(TOPOLOGY_CODES)}"
+        ) from None
+    return gen(nodes, **kwargs)

@@ -1,0 +1,23 @@
+"""Plain-text visualisation of runs: job Gantt charts and bar charts.
+
+The simulator's results carry full per-job timing, so examples can show
+*why* a policy wins, not just the mean: :func:`render_gantt` draws each
+job's wait and execution phases on a shared time axis, and
+:func:`render_bars` turns any {label: value} mapping into an aligned
+horizontal bar chart (used for utilisation and response-time series).
+"""
+
+from repro.trace.charts import render_bars, render_series
+from repro.trace.gantt import render_gantt
+from repro.trace.recorder import TraceEvent, TraceRecorder
+from repro.trace.timeline import render_utilization, utilization_probes
+
+__all__ = [
+    "TraceEvent",
+    "TraceRecorder",
+    "render_bars",
+    "render_gantt",
+    "render_series",
+    "render_utilization",
+    "utilization_probes",
+]

@@ -1,0 +1,56 @@
+"""ASCII bar charts for scalar series."""
+
+from __future__ import annotations
+
+
+def render_bars(values, width=48, label_width=16, unit=""):
+    """Horizontal bar chart of a {label: value} mapping.
+
+    Bars are scaled to the maximum value; values print right of the bar.
+    """
+    if not values:
+        return "(no data)\n"
+    peak = max(values.values())
+    scale = (width / peak) if peak > 0 else 0.0
+    lines = []
+    for label, value in values.items():
+        bar = "█" * max(0, int(round(value * scale)))
+        lines.append(
+            f"{str(label).ljust(label_width)[:label_width]}"
+            f"{bar:<{width}} {value:.3f}{unit}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def render_series(series, width=48, label_width=10, unit="s"):
+    """Grouped bar chart: {series_name: {label: value}}.
+
+    Labels become groups; each series gets one bar per group, so policy
+    comparisons across the paper's partition-size grid read naturally.
+    """
+    if not series:
+        return "(no data)\n"
+    labels = []
+    for mapping in series.values():
+        for label in mapping:
+            if label not in labels:
+                labels.append(label)
+    peak = max(
+        (v for mapping in series.values() for v in mapping.values()),
+        default=0.0,
+    )
+    scale = (width / peak) if peak > 0 else 0.0
+    name_w = max(len(str(name)) for name in series) + 2
+    lines = []
+    for label in labels:
+        lines.append(str(label))
+        for name, mapping in series.items():
+            value = mapping.get(label)
+            if value is None:
+                continue
+            bar = "█" * max(0, int(round(value * scale)))
+            lines.append(
+                f"  {str(name).ljust(name_w)}{bar:<{width}} "
+                f"{value:.3f}{unit}"
+            )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,45 @@
+"""ASCII Gantt chart of a batch's job lifecycles."""
+
+from __future__ import annotations
+
+
+def render_gantt(jobs, width=72, label_width=14):
+    """Draw each job's wait ('.') and execution ('#') on a time axis.
+
+    Jobs are drawn in submission order.  Time runs from the earliest
+    submission to the latest completion, scaled into ``width`` columns.
+
+    Returns a string; every job must be completed.
+    """
+    jobs = list(jobs)
+    if not jobs:
+        return "(no jobs)\n"
+    for job in jobs:
+        if job.completed_at is None:
+            raise ValueError(f"job {job.name} has not completed")
+    t0 = min(j.submitted_at for j in jobs)
+    t1 = max(j.completed_at for j in jobs)
+    span = max(t1 - t0, 1e-12)
+
+    def col(t):
+        return int(round((t - t0) / span * (width - 1)))
+
+    lines = []
+    header = " " * label_width + f"t={t0:.2f}s" + " " * max(
+        0, width - 14) + f"t={t1:.2f}s"
+    lines.append(header)
+    for job in jobs:
+        start = col(job.started_at)
+        end = col(job.completed_at)
+        row = [" "] * width
+        for c in range(col(job.submitted_at), start):
+            row[c] = "."
+        for c in range(start, end + 1):
+            row[c] = "#"
+        name = f"{job.name}({(job.size_class or '?')[0]})"
+        lines.append(name.ljust(label_width)[:label_width] + "".join(row))
+    lines.append(
+        " " * label_width + "legend: '.' waiting for processors, "
+        "'#' executing"
+    )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,80 @@
+"""Structured event trace recording.
+
+A :class:`TraceRecorder` collects timestamped events from a run —
+job lifecycle transitions, plus anything a model chooses to record —
+into a queryable log.  Enable it per system with
+``SystemConfig(trace=True)``; the recorder then appears as
+``system.trace_recorder`` after a run and the examples/tests can render
+or assert on the timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One event of the trace: what happened to whom, when."""
+
+    time: float
+    category: str
+    subject: str
+    detail: dict = field(default_factory=dict, compare=False)
+
+    def __str__(self):
+        extra = (" " + " ".join(f"{k}={v}" for k, v in self.detail.items())
+                 if self.detail else "")
+        return f"[{self.time:12.6f}] {self.category:<12} {self.subject}{extra}"
+
+
+class TraceRecorder:
+    """Append-only, queryable event log."""
+
+    def __init__(self, capacity=None):
+        self.events = []
+        self.capacity = capacity
+        self.dropped = 0
+
+    def record(self, time, category, subject, **detail):
+        if self.capacity is not None and len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(time, category, str(subject), detail))
+
+    def __len__(self):
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    # -- queries ---------------------------------------------------------
+    def by_category(self, category):
+        return [e for e in self.events if e.category == category]
+
+    def by_subject(self, subject):
+        return [e for e in self.events if e.subject == str(subject)]
+
+    def between(self, start, end):
+        return [e for e in self.events if start <= e.time <= end]
+
+    def categories(self):
+        out = {}
+        for e in self.events:
+            out[e.category] = out.get(e.category, 0) + 1
+        return dict(sorted(out.items()))
+
+    def to_text(self, limit=None):
+        events = self.events if limit is None else self.events[:limit]
+        lines = [str(e) for e in events]
+        if limit is not None and len(self.events) > limit:
+            lines.append(f"... ({len(self.events) - limit} more)")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    # -- hooks -------------------------------------------------------------
+    def job_observer(self):
+        """An ``on_transition`` callback for :class:`repro.core.job.Job`."""
+        def observe(job, event_name, now):
+            self.record(now, f"job.{event_name}", job.name,
+                        size=job.size_class)
+        return observe

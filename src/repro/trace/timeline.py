@@ -1,0 +1,82 @@
+"""Per-node utilisation timelines (ASCII heat rows).
+
+Attach :func:`utilization_probes` to a run via ``run_batch``'s
+``instrument`` hook, then render with :func:`render_utilization`:
+
+    probes = {}
+    result = system.run_batch(
+        batch, instrument=lambda s: probes.update(utilization_probes(s)))
+    print(render_utilization(probes, result.makespan))
+
+Each row is one processor; each column a time bucket; the glyph encodes
+how busy the CPU was in that bucket (``.`` idle through ``#`` saturated)
+— the quickest way to *see* static space-sharing's idle partitions or a
+time-shared coordinator hotspot.
+"""
+
+from __future__ import annotations
+
+from repro.sim.monitoring import Sampler
+
+_GLYPHS = " .:-=+*#"
+
+
+def utilization_probes(system, interval=None):
+    """Attach a busy-time sampler per node; returns {node_id: Sampler}."""
+    env = system.env
+    if interval is None:
+        interval = 0.05
+    probes = {}
+    for node_id, node in system.nodes.items():
+        stats = node.cpu.stats
+
+        def busy(stats=stats):
+            return stats.busy_time + stats.overhead_time
+
+        probes[node_id] = Sampler(env, busy, interval,
+                                  name=f"util{node_id}")
+    return probes
+
+
+def render_utilization(probes, makespan, width=64, label_width=8):
+    """Render samplers (cumulative busy time) as per-node heat rows."""
+    if not probes:
+        return "(no probes)\n"
+    lines = [
+        " " * label_width
+        + f"t=0{' ' * max(0, width - 12)}t={makespan:.2f}s"
+    ]
+    for node_id in sorted(probes):
+        sampler = probes[node_id]
+        samples = sampler.samples
+        if len(samples) < 2:
+            lines.append(f"node{node_id}".ljust(label_width) + "(no data)")
+            continue
+        row = []
+        for c in range(width):
+            t0 = makespan * c / width
+            t1 = makespan * (c + 1) / width
+            busy0 = _interp(samples, t0)
+            busy1 = _interp(samples, t1)
+            frac = (busy1 - busy0) / max(t1 - t0, 1e-12)
+            frac = min(max(frac, 0.0), 1.0)
+            row.append(_GLYPHS[min(int(frac * len(_GLYPHS)),
+                                   len(_GLYPHS) - 1)])
+        lines.append(f"node{node_id}".ljust(label_width) + "".join(row))
+    lines.append(
+        " " * label_width
+        + f"legend: '{_GLYPHS[1]}' idle ... '{_GLYPHS[-1]}' saturated"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def _interp(samples, t):
+    """Linear interpolation of cumulative busy time at time ``t``."""
+    if t <= samples[0][0]:
+        return samples[0][1]
+    for (t0, v0), (t1, v1) in zip(samples, samples[1:]):
+        if t0 <= t <= t1:
+            if t1 == t0:
+                return v1
+            return v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+    return samples[-1][1]

@@ -1,0 +1,39 @@
+"""Transputer-style node hardware model.
+
+Models the parts of the 16-node T805 system whose behaviour drives the
+paper's results:
+
+- :class:`~repro.transputer.cpu.Cpu` — the T805 hardware scheduler: two
+  priority ready queues; high-priority work runs to completion,
+  low-priority work is round-robin time-shared with a per-request quantum
+  (2 ms hardware default) and loses the unfinished quantum on preemption.
+- :class:`~repro.transputer.memory.Mmu` — the per-node memory-management
+  unit: a blocking byte allocator over 4 MB with contention statistics,
+  plus the hop-class structured message-buffer pool used for
+  deadlock-free store-and-forward switching.
+- :class:`~repro.transputer.link.Link` — a unidirectional communication
+  link: FIFO, fixed bandwidth, per-transfer startup cost.
+- :class:`~repro.transputer.node.TransputerNode` — one node: CPU + MMU +
+  buffer pool + attached links.
+- :class:`~repro.transputer.config.TransputerConfig` — calibrated T805
+  constants.
+"""
+
+from repro.transputer.config import TransputerConfig
+from repro.transputer.cpu import HIGH, LOW, Cpu, CpuStats
+from repro.transputer.link import Link
+from repro.transputer.memory import Allocation, BufferPool, Mmu
+from repro.transputer.node import TransputerNode
+
+__all__ = [
+    "Allocation",
+    "BufferPool",
+    "Cpu",
+    "CpuStats",
+    "HIGH",
+    "LOW",
+    "Link",
+    "Mmu",
+    "TransputerConfig",
+    "TransputerNode",
+]

@@ -1,0 +1,301 @@
+"""The T805 hardware processor scheduler.
+
+The Transputer maintains two ready queues in hardware:
+
+- **High priority** — processes run to completion (or until they block).
+  The simulator uses this level for system work: the communication
+  software's per-hop store-and-forward handling and the scheduling
+  machinery itself.
+- **Low priority** — processes are round-robin time-shared.  The
+  hardware default quantum is ~2 ms; the paper's local schedulers set
+  their own per-process quantum to implement the RR-job rule
+  ``Q = (P/T) * q``.  When a high-priority process becomes ready, the
+  running low-priority process is preempted immediately and *the
+  unfinished part of its quantum is lost* (it re-queues at the back).
+
+The public operation is :meth:`Cpu.execute`: submit a burst of
+``work_seconds`` of computation at a priority (and optional per-request
+quantum) and receive an event that fires when the burst has accumulated
+that much CPU time.
+
+Implementation note — event economy.  Naively emitting one event per
+quantum makes big simulations needlessly slow, so when a low-priority
+burst is the *only* runnable work the dispatcher grants it its entire
+remaining time in one slice; any arrival interrupts the slice and the
+elapsed time is credited.  This is behaviourally identical to quantum
+slicing (round-robin among one process is that process running) but
+collapses thousands of events into one.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.sim import Event, Interrupt
+
+#: Priority levels (match the two hardware ready queues).
+HIGH = 0
+LOW = 1
+
+_EPS = 1e-12
+
+
+class WorkRequest(Event):
+    """A burst of CPU work; the event fires when the burst completes."""
+
+    __slots__ = ("priority", "remaining", "quantum", "tag", "submitted_at",
+                 "started_at", "cpu_time", "slices")
+
+    def __init__(self, cpu, work_seconds, priority, quantum, tag):
+        super().__init__(cpu.env)
+        self.priority = priority
+        self.remaining = float(work_seconds)
+        self.quantum = quantum
+        #: Opaque owner handle (job/process identity) for accounting.
+        self.tag = tag
+        self.submitted_at = cpu.env.now
+        self.started_at = None
+        #: CPU time actually consumed so far.
+        self.cpu_time = 0.0
+        #: Number of dispatches this request received.
+        self.slices = 0
+
+    def __repr__(self):
+        lvl = "HIGH" if self.priority == HIGH else "LOW"
+        return f"<WorkRequest {lvl} rem={self.remaining:.6f} tag={self.tag!r}>"
+
+
+@dataclass
+class CpuStats:
+    """Aggregate accounting for one CPU."""
+
+    busy_time: float = 0.0
+    high_time: float = 0.0
+    low_time: float = 0.0
+    overhead_time: float = 0.0
+    dispatches: int = 0
+    preemptions: int = 0
+    completed: int = 0
+
+    def utilization(self, elapsed):
+        """Fraction of ``elapsed`` the CPU spent doing work or overhead."""
+        if elapsed <= 0:
+            return 0.0
+        return (self.busy_time + self.overhead_time) / elapsed
+
+
+class Cpu:
+    """Two-priority processor with round-robin low-priority sharing."""
+
+    def __init__(self, env, config, node_id=None):
+        self.env = env
+        self.config = config
+        self.node_id = node_id
+        self.stats = CpuStats()
+        self._high = deque()
+        self._low = deque()
+        self._paused = {}            # tag -> deque of parked LOW requests
+        self._wakeup = None          # pending idle-wait event
+        self._running = None         # request currently holding the CPU
+        self._slice_interruptible = False
+        self._interrupt_requested = False
+        self._proc = env.process(self._dispatch_loop(), name=f"cpu{node_id}")
+
+    # -- public API -----------------------------------------------------
+    def execute(self, work_seconds, priority=LOW, quantum=None, tag=None):
+        """Submit a computation burst; returns its completion event.
+
+        Parameters
+        ----------
+        work_seconds:
+            CPU time the burst needs (seconds).
+        priority:
+            :data:`HIGH` (run to completion, preempts low) or :data:`LOW`
+            (round-robin time-shared).
+        quantum:
+            Timeslice for this request at low priority; ``None`` uses the
+            hardware default from the config.  Ignored at high priority.
+        tag:
+            Opaque owner handle recorded on the request for accounting.
+        """
+        if work_seconds < 0:
+            raise ValueError(f"work_seconds must be >= 0, got {work_seconds}")
+        if priority not in (HIGH, LOW):
+            raise ValueError(f"priority must be HIGH or LOW, got {priority}")
+        req = WorkRequest(self, work_seconds, priority,
+                          quantum if quantum is not None else self.config.quantum,
+                          tag)
+        if req.quantum <= 0:
+            raise ValueError("quantum must be positive")
+        if work_seconds <= _EPS:
+            # Zero-length bursts complete immediately without dispatching.
+            req.started_at = self.env.now
+            req.succeed(req)
+            return req
+        if priority == HIGH:
+            self._high.append(req)
+        elif tag in self._paused:
+            self._paused[tag].append(req)
+            return req
+        else:
+            self._low.append(req)
+        self._notify_arrival(priority)
+        return req
+
+    # -- gang-scheduling support --------------------------------------------
+    def pause_tag(self, tag):
+        """Suspend all low-priority work carrying ``tag``.
+
+        Queued requests are parked; a running tagged slice is preempted
+        (its elapsed time is credited) and parked too.  Used by gang
+        scheduling to deschedule a whole job's processes at once.
+        High-priority (communication) work is never paused.
+        """
+        parked = self._paused.setdefault(tag, deque())
+        kept = deque()
+        while self._low:
+            req = self._low.popleft()
+            (parked if req.tag == tag else kept).append(req)
+        self._low = kept
+        running = self._running
+        if (running is not None and running.tag == tag
+                and running.priority == LOW and self._slice_interruptible
+                and not self._interrupt_requested):
+            self._interrupt_requested = True
+            self._proc.interrupt("paused")
+
+    def resume_tag(self, tag):
+        """Release work parked under ``tag`` back into the ready queue."""
+        parked = self._paused.pop(tag, None)
+        if not parked:
+            return
+        self._low.extend(parked)
+        self._notify_arrival(LOW)
+
+    @property
+    def queue_length(self):
+        """Requests waiting or running (system backlog)."""
+        backlog = len(self._high) + len(self._low)
+        if self._running is not None:
+            backlog += 1
+        return backlog
+
+    @property
+    def running(self):
+        """The request currently holding the CPU, if any."""
+        return self._running
+
+    # -- internals ----------------------------------------------------------
+    def _notify_arrival(self, priority):
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed()
+            return
+        if self._interrupt_requested or not self._slice_interruptible:
+            return
+        running = self._running
+        if running is None:
+            return
+        # A high arrival preempts a running low slice immediately; a low
+        # arrival only matters if the current slice was extended past its
+        # quantum under the single-runnable optimisation.
+        extended = self._slice_interruptible == "extended"
+        if priority == HIGH or extended:
+            self._interrupt_requested = True
+            self._proc.interrupt("arrival")
+
+    def _dispatch_loop(self):
+        env = self.env
+        cfg = self.config
+        while True:
+            if not self._high and not self._low:
+                self._wakeup = Event(env)
+                yield self._wakeup
+                self._wakeup = None
+
+            if self._high:
+                req = self._high.popleft()
+                yield from self._run_high(req)
+            else:
+                req = self._low.popleft()
+                yield from self._run_low(req)
+
+    def _charge_overhead(self):
+        cost = self.config.context_switch_overhead
+        if cost > 0:
+            yield self.env.timeout(cost)
+            self.stats.overhead_time += cost
+
+    def _run_high(self, req):
+        env = self.env
+        yield from self._charge_overhead()
+        self._running = req
+        if req.started_at is None:
+            req.started_at = env.now
+        req.slices += 1
+        self.stats.dispatches += 1
+        burst = req.remaining
+        yield env.timeout(burst)
+        req.remaining = 0.0
+        req.cpu_time += burst
+        self.stats.busy_time += burst
+        self.stats.high_time += burst
+        self.stats.completed += 1
+        self._running = None
+        req.succeed(req)
+
+    def _run_low(self, req):
+        env = self.env
+        yield from self._charge_overhead()
+        self._running = req
+        if req.started_at is None:
+            req.started_at = env.now
+        req.slices += 1
+        self.stats.dispatches += 1
+
+        contended = bool(self._high) or bool(self._low)
+        if contended:
+            slice_len = min(req.quantum, req.remaining)
+            self._slice_interruptible = "quantum"
+        else:
+            # Single-runnable optimisation: run the whole remaining burst;
+            # any arrival interrupts us and we credit the elapsed time.
+            slice_len = req.remaining
+            self._slice_interruptible = "extended"
+
+        start = env.now
+        preempted = False
+        try:
+            yield env.timeout(slice_len)
+            elapsed = slice_len
+        except Interrupt:
+            elapsed = env.now - start
+            preempted = True
+            self._interrupt_requested = False
+            self.stats.preemptions += 1
+        finally:
+            self._slice_interruptible = False
+            self._running = None
+
+        req.remaining -= elapsed
+        req.cpu_time += elapsed
+        self.stats.busy_time += elapsed
+        self.stats.low_time += elapsed
+
+        if req.remaining <= _EPS:
+            req.remaining = 0.0
+            self.stats.completed += 1
+            req.succeed(req)
+            return
+        # Unfinished work whose tag was paused mid-slice parks instead of
+        # re-queueing (gang scheduling descheduled its job).
+        if req.tag in self._paused:
+            self._paused[req.tag].append(req)
+            return
+        # Otherwise: back of the round-robin queue (the Transputer drops
+        # the rest of a preempted process's quantum), or the front if the
+        # config asks for resume-in-place semantics.
+        if self.config.requeue_at_back or not preempted:
+            self._low.append(req)
+        else:
+            self._low.appendleft(req)

@@ -1,0 +1,76 @@
+"""Point-to-point communication links.
+
+Each physical Transputer link is bidirectional; the model treats each
+direction as an independent unidirectional FIFO channel with a fixed
+payload bandwidth and a small per-transfer startup cost.
+
+Because transfers are never cancelled and service is strictly FIFO and
+work-conserving, the link does not need its own scheduler process: for a
+transfer arriving at ``now`` the finish time is exactly
+``max(now, ready_at) + startup + nbytes/bandwidth``, which a single
+timeout event realises.  This keeps the event count at one per packet
+per hop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class LinkStats:
+    transfers: int = 0
+    bytes_carried: int = 0
+    busy_time: float = 0.0
+    queue_time: float = 0.0
+
+    def utilization(self, elapsed):
+        if elapsed <= 0:
+            return 0.0
+        return self.busy_time / elapsed
+
+    @property
+    def mean_queue_time(self):
+        return self.queue_time / self.transfers if self.transfers else 0.0
+
+
+class Link:
+    """Unidirectional FIFO link from ``src`` to ``dst``."""
+
+    def __init__(self, env, src, dst, bandwidth, startup=0.0):
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if startup < 0:
+            raise ValueError("startup must be >= 0")
+        self.env = env
+        self.src = src
+        self.dst = dst
+        self.bandwidth = bandwidth
+        self.startup = startup
+        self._ready_at = 0.0
+        self.stats = LinkStats()
+
+    @property
+    def backlog(self):
+        """Seconds of queued transmission ahead of a new arrival."""
+        return max(0.0, self._ready_at - self.env.now)
+
+    def transmit(self, nbytes):
+        """Queue ``nbytes`` for transmission; event fires at delivery.
+
+        The returned event's value is the delivery time.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        now = self.env.now
+        wait = max(0.0, self._ready_at - now)
+        service = self.startup + nbytes / self.bandwidth
+        self._ready_at = now + wait + service
+        self.stats.transfers += 1
+        self.stats.bytes_carried += nbytes
+        self.stats.busy_time += service
+        self.stats.queue_time += wait
+        return self.env.timeout(wait + service, value=self._ready_at)
+
+    def __repr__(self):
+        return f"<Link {self.src}->{self.dst} backlog={self.backlog:.6f}s>"

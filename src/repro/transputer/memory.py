@@ -1,0 +1,255 @@
+"""Per-node memory management.
+
+Two cooperating allocators model the paper's "contention for memory":
+
+- :class:`Mmu` — a blocking byte allocator over the node's local memory
+  (4 MB on the T805).  Jobs allocate their data (matrices, arrays) here;
+  when time-sharing loads 16 jobs at once the MMU queue is where the
+  paper's memory contention shows up.  Allocation requests are served
+  FIFO; an oversized request at the head blocks later ones (no
+  starvation), and waiting time is accounted.
+- :class:`BufferPool` — the mailbox system's *structured* message-buffer
+  pool for store-and-forward switching.  Buffers are partitioned into
+  hop classes 0..D (D = network diameter); a packet that has travelled
+  ``h`` hops may only occupy a buffer of class <= ``h`` (granted
+  highest-class-first).  Any chain of packets waiting on each other then
+  has strictly increasing buffer classes, which is acyclic — the classic
+  structured-buffer-pool argument — so store-and-forward deadlock is
+  impossible even on rings.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.sim import Event
+
+
+class MemoryError_(Exception):
+    """Raised for impossible requests (larger than total capacity)."""
+
+
+class Allocation:
+    """A granted region of node memory.  Free exactly once."""
+
+    __slots__ = ("nbytes", "mmu", "freed", "granted_at")
+
+    def __init__(self, mmu, nbytes, granted_at):
+        self.mmu = mmu
+        self.nbytes = nbytes
+        self.granted_at = granted_at
+        self.freed = False
+
+    def free(self):
+        self.mmu.free(self)
+
+    def __repr__(self):
+        state = "freed" if self.freed else "live"
+        return f"<Allocation {self.nbytes}B {state}>"
+
+
+class AllocRequest(Event):
+    __slots__ = ("nbytes",)
+
+    def __init__(self, mmu, nbytes):
+        super().__init__(mmu.env)
+        self.nbytes = nbytes
+
+
+@dataclass
+class MmuStats:
+    """Contention accounting for one node's memory."""
+
+    peak_in_use: int = 0
+    total_allocs: int = 0
+    blocked_allocs: int = 0
+    total_wait_time: float = 0.0
+    bytes_allocated: int = 0
+
+    @property
+    def mean_wait(self):
+        return self.total_wait_time / self.total_allocs if self.total_allocs else 0.0
+
+
+class Mmu:
+    """Blocking FIFO byte allocator over a node's local memory."""
+
+    def __init__(self, env, capacity_bytes, node_id=None):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        self.env = env
+        self.capacity = int(capacity_bytes)
+        self.node_id = node_id
+        self._in_use = 0
+        self._waiters = deque()  # (request, enqueue_time)
+        self.stats = MmuStats()
+
+    @property
+    def in_use(self):
+        return self._in_use
+
+    @property
+    def available(self):
+        return self.capacity - self._in_use
+
+    @property
+    def queue_length(self):
+        return len(self._waiters)
+
+    def alloc(self, nbytes):
+        """Request ``nbytes``; the event succeeds with an :class:`Allocation`.
+
+        Requests larger than total capacity fail immediately (they could
+        never be satisfied); otherwise the request waits FIFO until the
+        bytes are free.
+        """
+        nbytes = int(nbytes)
+        if nbytes <= 0:
+            raise ValueError(f"nbytes must be positive, got {nbytes}")
+        req = AllocRequest(self, nbytes)
+        if nbytes > self.capacity:
+            req.fail(
+                MemoryError_(
+                    f"request of {nbytes}B exceeds node memory "
+                    f"({self.capacity}B) on node {self.node_id!r}"
+                )
+            )
+            return req
+        self._waiters.append((req, self.env.now))
+        if len(self._waiters) > 1 or nbytes > self.available:
+            self.stats.blocked_allocs += 1
+        self._drain()
+        return req
+
+    def free(self, allocation):
+        """Return an allocation's bytes to the pool."""
+        if allocation.freed:
+            raise MemoryError_("double free")
+        allocation.freed = True
+        self._in_use -= allocation.nbytes
+        self._drain()
+
+    def _drain(self):
+        while self._waiters:
+            req, t0 = self._waiters[0]
+            if req.nbytes > self.available:
+                return
+            self._waiters.popleft()
+            self._in_use += req.nbytes
+            self.stats.peak_in_use = max(self.stats.peak_in_use, self._in_use)
+            self.stats.total_allocs += 1
+            self.stats.bytes_allocated += req.nbytes
+            self.stats.total_wait_time += self.env.now - t0
+            req.succeed(Allocation(self, req.nbytes, self.env.now))
+
+
+class BufferRequest(Event):
+    __slots__ = ("hop_class",)
+
+    def __init__(self, pool, hop_class):
+        super().__init__(pool.env)
+        self.hop_class = hop_class
+
+
+class Buffer:
+    """One packet buffer from a :class:`BufferPool`.  Release exactly once."""
+
+    __slots__ = ("pool", "cls", "released")
+
+    def __init__(self, pool, cls):
+        self.pool = pool
+        self.cls = cls
+        self.released = False
+
+    def release(self):
+        self.pool.release(self)
+
+    def __repr__(self):
+        state = "released" if self.released else "held"
+        return f"<Buffer class={self.cls} {state}>"
+
+
+@dataclass
+class BufferPoolStats:
+    grants: int = 0
+    blocked: int = 0
+    total_wait_time: float = 0.0
+
+
+class BufferPool:
+    """Structured (hop-class) store-and-forward message-buffer pool.
+
+    ``acquire(h)`` grants a buffer of class <= ``h`` (the highest free
+    eligible class, preserving low classes for fresh packets).  Waiters
+    are FIFO per arrival among those eligible when a buffer frees.
+    """
+
+    def __init__(self, env, num_classes, buffers_per_class, buffer_bytes,
+                 node_id=None):
+        if num_classes < 1:
+            raise ValueError("num_classes must be >= 1")
+        if buffers_per_class < 1:
+            raise ValueError("buffers_per_class must be >= 1")
+        self.env = env
+        self.node_id = node_id
+        self.num_classes = num_classes
+        self.buffer_bytes = buffer_bytes
+        self._free = [buffers_per_class] * num_classes
+        self._capacity_per_class = buffers_per_class
+        self._waiters = deque()  # (request, enqueue_time)
+        self.stats = BufferPoolStats()
+
+    @property
+    def total_bytes(self):
+        return self.num_classes * self._capacity_per_class * self.buffer_bytes
+
+    def free_count(self, hop_class=None):
+        if hop_class is None:
+            return sum(self._free)
+        return self._free[hop_class]
+
+    def acquire(self, hop_class):
+        """Request a buffer for a packet that has travelled ``hop_class`` hops."""
+        if hop_class < 0:
+            raise ValueError("hop_class must be >= 0")
+        hop_class = min(hop_class, self.num_classes - 1)
+        req = BufferRequest(self, hop_class)
+        self._waiters.append((req, self.env.now))
+        if len(self._waiters) > 1 or self._eligible(hop_class) is None:
+            self.stats.blocked += 1
+        self._drain()
+        return req
+
+    def release(self, buffer):
+        if buffer.released:
+            raise MemoryError_("double release of message buffer")
+        buffer.released = True
+        self._free[buffer.cls] += 1
+        self._drain()
+
+    def _eligible(self, hop_class):
+        """Highest free class <= hop_class, or None."""
+        for cls in range(hop_class, -1, -1):
+            if self._free[cls] > 0:
+                return cls
+        return None
+
+    def _drain(self):
+        # FIFO among waiters, but a blocked low-class waiter must not
+        # block a later high-class waiter whose class is free (that is
+        # the whole point of the structured pool).
+        progressed = True
+        while progressed:
+            progressed = False
+            for i, (req, t0) in enumerate(self._waiters):
+                cls = self._eligible(req.hop_class)
+                if cls is None:
+                    continue
+                del self._waiters[i]
+                self._free[cls] -= 1
+                self.stats.grants += 1
+                self.stats.total_wait_time += self.env.now - t0
+                req.succeed(Buffer(self, cls))
+                progressed = True
+                break

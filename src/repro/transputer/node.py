@@ -1,0 +1,82 @@
+"""One Transputer node: CPU + memory regions + attached links.
+
+The node's 4 MB of local memory is split into four regions, mirroring
+how the paper's runtime system used it:
+
+- the **OS reservation** — runtime system, program code, schedulers
+  (not allocatable; the paper's problem sizes were picked so that the
+  maximum multiprogramming level of 16 barely fits in what remains);
+- the **job region** (the remainder) — application data: matrices,
+  arrays, process workspaces;
+- the **message-buffer pool** — the structured store-and-forward transit
+  buffers (hop classes, deadlock-free);
+- the **mailbox region** — reassembly/delivery memory for messages
+  arriving at this node; contention here is the paper's "contention for
+  memory" under high multiprogramming levels.
+
+Links are attached by the network builder (one per direction per edge of
+the configured topology).
+"""
+
+from __future__ import annotations
+
+from repro.transputer.cpu import Cpu
+from repro.transputer.memory import BufferPool, Mmu
+
+#: Default size of the message delivery/reassembly region.
+DEFAULT_MAILBOX_BYTES = 192 * 1024
+
+
+class TransputerNode:
+    """A single processor of the multicomputer."""
+
+    def __init__(self, env, node_id, config, num_buffer_classes=1,
+                 mailbox_bytes=DEFAULT_MAILBOX_BYTES):
+        config.validate()
+        self.env = env
+        self.node_id = node_id
+        self.config = config
+        self.cpu = Cpu(env, config, node_id=node_id)
+
+        job_bytes = (config.memory_bytes - config.os_reserved_bytes
+                     - config.buffer_pool_bytes - mailbox_bytes)
+        if job_bytes <= 0:
+            raise ValueError(
+                "memory_bytes too small for the OS reservation, buffer "
+                "pool and mailbox region"
+            )
+        #: Application-data allocator.
+        self.memory = Mmu(env, job_bytes, node_id=node_id)
+        #: Delivery/reassembly allocator for arriving messages.
+        self.mailbox_memory = Mmu(env, mailbox_bytes, node_id=node_id)
+        #: Structured transit buffers for store-and-forward forwarding.
+        #: Re-sized by the Network builder once the partition topology
+        #: (and hence the hop-class count) is known.
+        self.buffers = BufferPool(
+            env,
+            num_classes=num_buffer_classes,
+            buffers_per_class=config.buffers_per_class,
+            buffer_bytes=config.packet_bytes,
+            node_id=node_id,
+        )
+        #: Mailbox for delivered messages (installed by the Network).
+        self.mailbox = None
+        #: Outgoing links keyed by neighbour node id (set by the builder).
+        self.links = {}
+
+    def link_to(self, neighbor):
+        """The outgoing link toward an adjacent node."""
+        try:
+            return self.links[neighbor]
+        except KeyError:
+            raise ValueError(
+                f"node {self.node_id} has no link to {neighbor} "
+                f"(neighbours: {sorted(self.links)})"
+            ) from None
+
+    def memory_pressure(self):
+        """Fraction of the job region currently in use."""
+        return self.memory.in_use / self.memory.capacity
+
+    def __repr__(self):
+        return f"<TransputerNode {self.node_id}>"

@@ -1,0 +1,72 @@
+"""Experimental workloads.
+
+The paper evaluates two applications, each under two software
+architectures:
+
+- :class:`~repro.workload.matmul.MatMulApplication` — fork-and-join:
+  a coordinator ships matrix B plus a slice of matrix A to each worker,
+  every worker (and the coordinator itself) multiplies independently,
+  and the coordinator joins the result slices.  Low worker-to-worker
+  communication by construction.
+- :class:`~repro.workload.sort.SortApplication` — divide-and-conquer:
+  a binary fan-out of the array, an O(n²) selection-sort worker phase,
+  and an O(n) merge fan-in.  The superlinear worker phase is why the
+  *fixed* architecture (many small sub-arrays) wins for sort.
+- :class:`~repro.workload.synthetic.SyntheticForkJoin` — a fork-join
+  job with a controllable service-demand distribution, used for the
+  variance-crossover ablation (E5).
+
+Software architectures (Section 4.3): **fixed** — the process count is
+baked in at compile time (16 in the paper's runs) regardless of the
+partition size; **adaptive** — the program creates exactly as many
+processes as it has processors.
+
+:func:`standard_batch` builds the paper's batch: 16 jobs, 12 small and
+4 large, in a deterministic interleaved order; ``ordering`` gives the
+best (smallest-first) and worst (largest-first) orders used to report
+the static policy fairly.
+"""
+
+from repro.workload.application import (
+    ADAPTIVE,
+    FIXED,
+    Application,
+    SoftwareArchitectureError,
+)
+from repro.workload.arrivals import (
+    poisson_arrivals,
+    trace_arrivals,
+    uniform_arrivals,
+)
+from repro.workload.butterfly import ButterflyApplication
+from repro.workload.batch import (
+    BatchWorkload,
+    JobSpec,
+    standard_batch,
+)
+from repro.workload.costs import CostModel
+from repro.workload.matmul import MatMulApplication
+from repro.workload.pipeline import PipelineApplication
+from repro.workload.sort import SortApplication
+from repro.workload.stencil import StencilApplication
+from repro.workload.synthetic import SyntheticForkJoin
+
+__all__ = [
+    "ADAPTIVE",
+    "Application",
+    "BatchWorkload",
+    "ButterflyApplication",
+    "CostModel",
+    "FIXED",
+    "JobSpec",
+    "MatMulApplication",
+    "PipelineApplication",
+    "SoftwareArchitectureError",
+    "SortApplication",
+    "StencilApplication",
+    "SyntheticForkJoin",
+    "poisson_arrivals",
+    "standard_batch",
+    "trace_arrivals",
+    "uniform_arrivals",
+]

@@ -1,0 +1,85 @@
+"""Application base class and software architectures.
+
+An application is a *stateless descriptor*: problem size, software
+architecture, cost model.  Its :meth:`run` is a generator executed as a
+simulation process with an :class:`~repro.core.context.ExecutionContext`
+— the coordinator's logic — which may spawn further processes for the
+workers.  Statelessness means the same Application object can be reused
+across jobs and runs.
+
+Software architectures (paper, Section 4.3):
+
+- **fixed** — the number of processes is decided when the program is
+  written (16 in the paper's experiments), independent of how many
+  processors the job receives; with fewer processors, processes share
+  nodes (and a process may message *itself* through the full
+  store-and-forward path).
+- **adaptive** — the program asks the runtime how many processors it
+  was allocated and creates exactly that many processes (the run-time
+  allocation query exists on Intel/nCUBE systems, as the paper notes).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+FIXED = "fixed"
+ADAPTIVE = "adaptive"
+_ARCHITECTURES = (FIXED, ADAPTIVE)
+
+
+class SoftwareArchitectureError(ValueError):
+    """Raised for invalid architecture names or process counts."""
+
+
+#: Default program-image size shipped from the host at job load time.
+DEFAULT_CODE_BYTES = 32 * 1024
+
+
+class Application(ABC):
+    """Base class for simulated parallel programs."""
+
+    #: Short name used in labels ("matmul", "sort", ...).
+    name = "app"
+
+    def __init__(self, architecture=ADAPTIVE, fixed_processes=16):
+        if architecture not in _ARCHITECTURES:
+            raise SoftwareArchitectureError(
+                f"unknown architecture {architecture!r}; expected one of "
+                f"{_ARCHITECTURES}"
+            )
+        if fixed_processes < 1:
+            raise SoftwareArchitectureError("fixed_processes must be >= 1")
+        self.architecture = architecture
+        self.fixed_processes = fixed_processes
+
+    def num_processes(self, partition_size):
+        """Process count for a job allocated ``partition_size`` processors."""
+        if self.architecture == FIXED:
+            return self.fixed_processes
+        return partition_size
+
+    @abstractmethod
+    def run(self, ctx):
+        """Coordinator generator; drives the job inside ``ctx``."""
+
+    @abstractmethod
+    def total_ops(self, num_processes):
+        """Analytic total computation (for validation/calibration)."""
+
+    @property
+    def load_bytes(self):
+        """Program image plus initial data shipped from the host at
+        job-load time (serialises through the single host link)."""
+        return DEFAULT_CODE_BYTES
+
+    @property
+    def result_bytes(self):
+        """Result data returned to the host at completion."""
+        return 0
+
+    def describe(self):
+        return f"{self.name}[{self.architecture}]"
+
+    def __repr__(self):
+        return f"<{type(self).__name__} {self.describe()}>"

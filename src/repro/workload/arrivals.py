@@ -1,0 +1,74 @@
+"""Open-system arrival streams.
+
+The paper evaluates closed batches (16 jobs at t = 0); an open system —
+jobs arriving over time — is how such machines run in production, and
+how most of the scheduling literature the paper cites (Leutenegger &
+Vernon, Majumdar et al., Setia et al.) frames the problem.  This module
+generates arrival streams for :meth:`MulticomputerSystem.run_open`:
+
+- :func:`poisson_arrivals` — exponential interarrival times;
+- :func:`uniform_arrivals` — fixed-rate arrivals (deterministic);
+- :func:`trace_arrivals` — replay an explicit (time, spec) list.
+
+A stream is simply an iterable of ``(arrival_time, JobSpec)`` with
+non-decreasing times.
+"""
+
+from __future__ import annotations
+
+from repro.workload.batch import JobSpec
+
+
+def _spec_of(item):
+    if isinstance(item, JobSpec):
+        return item
+    app, size_class = item
+    return JobSpec(app, size_class)
+
+
+def poisson_arrivals(rate, duration, spec_factory, rng):
+    """Poisson stream: exponential(1/rate) interarrivals until ``duration``.
+
+    Parameters
+    ----------
+    rate: mean arrivals per simulated second.
+    duration: stop generating at this time (jobs in flight still finish).
+    spec_factory: callable ``(rng) -> JobSpec`` choosing each job.
+    rng: numpy Generator (determinism is the caller's responsibility).
+    """
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    t = 0.0
+    out = []
+    while True:
+        t += float(rng.exponential(1.0 / rate))
+        if t >= duration:
+            break
+        out.append((t, _spec_of(spec_factory(rng))))
+    return out
+
+
+def uniform_arrivals(interval, count, spec_factory, rng=None):
+    """Deterministic stream: one arrival every ``interval`` seconds."""
+    if interval <= 0:
+        raise ValueError("interval must be positive")
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    return [
+        (i * interval, _spec_of(spec_factory(rng)))
+        for i in range(count)
+    ]
+
+
+def trace_arrivals(trace):
+    """Validate and normalise an explicit [(time, spec), ...] trace."""
+    out = []
+    last = 0.0
+    for time, item in trace:
+        if time < last:
+            raise ValueError("arrival times must be non-decreasing")
+        last = time
+        out.append((float(time), _spec_of(item)))
+    return out

@@ -1,0 +1,170 @@
+"""Batch construction: the paper's 16-job workload and its orderings.
+
+Each experiment submits a batch of 16 applications — 12 small and 4
+large jobs — at time zero, "in order to introduce variance in service
+times" (Section 5.1).  Because the static policy's FCFS response times
+depend on the submission order, the paper reports static results as the
+average of the *best* order (small jobs first) and the *worst* order
+(large jobs first); :meth:`BatchWorkload.ordered` produces all three
+orderings deterministically.
+
+Paper sizes (trailing digits lost in the archived text, reconstructed
+from the 4 MB/node, MPL-16 memory footnote — see DESIGN.md):
+matmul small = 55x55, large = 110x110; sort small = 6 000 elements,
+large = 14 000 elements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workload.matmul import MatMulApplication
+from repro.workload.sort import SortApplication
+
+#: Reconstructed problem sizes (see module docstring).
+MATMUL_SMALL_N = 55
+MATMUL_LARGE_N = 110
+SORT_SMALL_N = 6_000
+SORT_LARGE_N = 14_000
+
+BEST = "best"
+WORST = "worst"
+INTERLEAVED = "interleaved"
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One job of a batch: the application plus its size class.
+
+    ``depends_on`` names other jobs of the same batch (by index) that
+    must complete before this one may be dispatched — a simple workflow
+    DAG.  A dependent job is considered *submitted* when its last
+    dependency finishes, so its response time measures its own wait and
+    execution, not its predecessors'.
+    """
+
+    application: object
+    size_class: str
+    depends_on: tuple = ()
+
+    @property
+    def weight(self):
+        """Sorting key approximating the job's service demand."""
+        return self.application.total_ops(self.application.fixed_processes)
+
+
+class BatchWorkload:
+    """An ordered batch of job specs submitted together at time zero."""
+
+    def __init__(self, specs, description=""):
+        self.specs = list(specs)
+        self.description = description
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    def __len__(self):
+        return len(self.specs)
+
+    def __getitem__(self, i):
+        return self.specs[i]
+
+    def counts(self):
+        """{size_class: count} of the batch."""
+        out = {}
+        for spec in self.specs:
+            out[spec.size_class] = out.get(spec.size_class, 0) + 1
+        return out
+
+    def ordered(self, how=INTERLEAVED):
+        """A reordered copy of the batch.
+
+        - ``best`` — smallest jobs first (the static policy's best case);
+        - ``worst`` — largest jobs first (its worst case);
+        - ``interleaved`` — large jobs spread evenly through the batch
+          (the neutral order used for the time-shared policies, where
+          order is immaterial anyway).
+        """
+        if how == BEST:
+            specs = sorted(self.specs, key=lambda s: s.weight)
+        elif how == WORST:
+            specs = sorted(self.specs, key=lambda s: -s.weight)
+        elif how == INTERLEAVED:
+            small = sorted(
+                (s for s in self.specs if s.size_class != "large"),
+                key=lambda s: s.weight,
+            )
+            large = sorted(
+                (s for s in self.specs if s.size_class == "large"),
+                key=lambda s: s.weight,
+            )
+            # Spread large jobs at maximally separated positions whose
+            # residues differ modulo any partition count, so equitable
+            # round-robin dispatch never lands every large job in the
+            # same partition.
+            n = len(self.specs)
+            positions = set()
+            if large:
+                if len(large) == 1:
+                    positions = {0}
+                else:
+                    positions = {
+                        round(i * (n - 1) / (len(large) - 1))
+                        for i in range(len(large))
+                    }
+            specs = []
+            li = si = 0
+            for pos in range(n):
+                if pos in positions and li < len(large):
+                    specs.append(large[li])
+                    li += 1
+                elif si < len(small):
+                    specs.append(small[si])
+                    si += 1
+                else:
+                    specs.append(large[li])
+                    li += 1
+        else:
+            raise ValueError(f"unknown ordering {how!r}")
+        return BatchWorkload(specs, description=f"{self.description}:{how}")
+
+    def __repr__(self):
+        return f"<BatchWorkload {self.description or ''} n={len(self)}>"
+
+
+def standard_batch(app="matmul", architecture="adaptive", num_small=12,
+                   num_large=4, small_size=None, large_size=None,
+                   fixed_processes=16, costs=None):
+    """The paper's batch: 12 small + 4 large jobs of one application.
+
+    Parameters
+    ----------
+    app: "matmul" or "sort".
+    architecture: "fixed" or "adaptive" (Section 4.3).
+    small_size / large_size: override the reconstructed problem sizes.
+    """
+    if app == "matmul":
+        small_size = MATMUL_SMALL_N if small_size is None else small_size
+        large_size = MATMUL_LARGE_N if large_size is None else large_size
+        make = lambda n: MatMulApplication(  # noqa: E731
+            n, architecture=architecture, fixed_processes=fixed_processes,
+            costs=costs,
+        )
+    elif app == "sort":
+        small_size = SORT_SMALL_N if small_size is None else small_size
+        large_size = SORT_LARGE_N if large_size is None else large_size
+        make = lambda n: SortApplication(  # noqa: E731
+            n, architecture=architecture, fixed_processes=fixed_processes,
+            costs=costs,
+        )
+    else:
+        raise ValueError(f"unknown application {app!r}")
+
+    small_app = make(small_size)
+    large_app = make(large_size)
+    specs = [JobSpec(small_app, "small") for _ in range(num_small)]
+    specs += [JobSpec(large_app, "large") for _ in range(num_large)]
+    batch = BatchWorkload(
+        specs, description=f"{app}[{architecture}]"
+    )
+    return batch.ordered(INTERLEAVED)

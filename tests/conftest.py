@@ -1,0 +1,32 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import pytest
+
+from repro.transputer import TransputerConfig
+
+
+def ideal_transputer(**overrides):
+    """A TransputerConfig with negligible overheads.
+
+    Communication and scheduling costs are driven (almost) to zero so
+    tests can compare simulated makespans against closed-form compute
+    bounds.
+    """
+    params = dict(
+        cpu_ops_per_second=1.0e6,
+        context_switch_overhead=0.0,
+        link_bandwidth=1.0e12,
+        link_startup=0.0,
+        hop_software_overhead=0.0,
+        copy_bytes_per_second=1.0e15,
+        message_overhead=0.0,
+        host_startup=0.0,
+        host_bandwidth=1.0e12,
+    )
+    params.update(overrides)
+    return TransputerConfig(**params)
+
+
+@pytest.fixture
+def ideal_config():
+    return ideal_transputer()

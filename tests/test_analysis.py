@@ -1,0 +1,195 @@
+"""Tests for the analytical models — formulas and simulator agreement."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    batch_fcfs_best_worst_average,
+    batch_fcfs_mean_response,
+    batch_ps_completion_times,
+    batch_ps_mean_response,
+    erlang_c,
+    matmul_job_time,
+    mm1_mean_response,
+    mmc_mean_response,
+    parallel_efficiency,
+    sort_total_ops,
+    static_partitions_mean_response,
+)
+from repro.core import (
+    MulticomputerSystem,
+    StaticSpaceSharing,
+    SystemConfig,
+    TimeSharing,
+)
+from repro.workload import BatchWorkload, JobSpec, MatMulApplication
+from repro.workload.sort import SortApplication
+
+from tests.conftest import ideal_transputer
+
+
+# ------------------------------------------------------------ batch forms
+def test_fcfs_mean_response_simple():
+    # Demands 1, 2, 3 in order: completions 1, 3, 6 -> mean 10/3.
+    assert batch_fcfs_mean_response([1, 2, 3]) == pytest.approx(10 / 3)
+
+
+def test_fcfs_order_matters():
+    best = batch_fcfs_mean_response([1, 2, 3])
+    worst = batch_fcfs_mean_response([3, 2, 1])
+    assert best < worst
+
+
+def test_ps_completion_staircase():
+    # Demands 1 and 3 sharing one server: small done at 2, big at 4.
+    assert batch_ps_completion_times([3, 1]) == pytest.approx([2.0, 4.0])
+
+
+def test_ps_equal_demands_all_finish_at_sum():
+    times = batch_ps_completion_times([2, 2, 2])
+    assert times == pytest.approx([6.0, 6.0, 6.0])
+
+
+def test_ps_capacity_scales():
+    assert batch_ps_mean_response([4, 4], capacity=2.0) == pytest.approx(4.0)
+
+
+def test_classical_ps_equals_fcfs_best_worst_average_shape():
+    """The classic near-identity that makes the paper's measurement
+    interesting: for the 12+4 batch, PS mean ~ avg(best, worst) FCFS."""
+    demands = [1.0] * 12 + [8.0] * 4
+    ps = batch_ps_mean_response(demands)
+    fcfs = batch_fcfs_best_worst_average(demands)
+    assert ps == pytest.approx(fcfs, rel=0.05)
+
+
+def test_static_partitions_list_scheduling():
+    # Two partitions, demands 2,2,2,2: completions 2,2,4,4 -> mean 3.
+    assert static_partitions_mean_response([2, 2, 2, 2], 2) == pytest.approx(3)
+    # One partition degenerates to FCFS.
+    assert static_partitions_mean_response([1, 2, 3], 1) == pytest.approx(
+        batch_fcfs_mean_response([1, 2, 3])
+    )
+
+
+def test_batch_forms_input_validation():
+    with pytest.raises(ValueError):
+        batch_fcfs_mean_response([])
+    with pytest.raises(ValueError):
+        batch_ps_completion_times([])
+    with pytest.raises(ValueError):
+        batch_fcfs_mean_response([-1])
+    with pytest.raises(ValueError):
+        static_partitions_mean_response([1], 0)
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=100), min_size=1,
+                max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_property_ps_within_classic_bounds(demands):
+    """PS mean response is at least the SPT-optimal (best-order FCFS)
+    mean and at most twice it — the classic round-robin competitive
+    bound for total flow time."""
+    ps = batch_ps_mean_response(demands)
+    best = batch_fcfs_mean_response(sorted(demands))
+    assert best - 1e-9 <= ps <= 2 * best + 1e-9
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=100), min_size=1,
+                max_size=30),
+       st.integers(min_value=1, max_value=8))
+@settings(max_examples=60, deadline=None)
+def test_property_more_partitions_never_hurt(demands, parts):
+    a = static_partitions_mean_response(demands, parts)
+    b = static_partitions_mean_response(demands, parts + 1)
+    assert b <= a + 1e-9
+
+
+# ----------------------------------------------------- simulator agreement
+def test_sim_matches_fcfs_formula_single_node():
+    """Static p=1 with zero comm: the simulator must land on the exact
+    FCFS prefix-sum formula."""
+    cfg = SystemConfig(num_nodes=1, topology="linear",
+                       transputer=ideal_transputer())
+    apps = [MatMulApplication(n, architecture="adaptive")
+            for n in (16, 24, 32)]
+    batch = BatchWorkload([JobSpec(a, "x") for a in apps])
+    result = MulticomputerSystem(cfg, StaticSpaceSharing(1)).run_batch(batch)
+    demands = [(a.total_ops(1) + a.n ** 2) / 1e6 for a in apps]
+    assert result.mean_response_time == pytest.approx(
+        batch_fcfs_mean_response(demands), rel=0.01
+    )
+
+
+def test_sim_matches_ps_formula_single_node():
+    """Pure TS on one node with zero comm approaches the PS staircase
+    (up to quantum granularity)."""
+    cfg = SystemConfig(num_nodes=1, topology="linear",
+                       transputer=ideal_transputer(scheduler_quantum=1e-3))
+    apps = [MatMulApplication(n, architecture="adaptive")
+            for n in (16, 24, 32)]
+    batch = BatchWorkload([JobSpec(a, "x") for a in apps])
+    result = MulticomputerSystem(cfg, TimeSharing()).run_batch(batch)
+    demands = [(a.total_ops(1) + a.n ** 2) / 1e6 for a in apps]
+    assert result.mean_response_time == pytest.approx(
+        batch_ps_mean_response(demands), rel=0.05
+    )
+
+
+def test_matmul_job_time_model_tracks_simulation():
+    """The analytic job-time model predicts the solo simulated job within
+    ~25% across partition sizes (it is first-order by design)."""
+    from repro.transputer import TransputerConfig
+
+    config = TransputerConfig()
+    n = 96
+    for p in (2, 4, 8):
+        cfg = SystemConfig(num_nodes=p, topology="ring", transputer=config)
+        app = MatMulApplication(n, architecture="adaptive")
+        result = MulticomputerSystem(cfg, StaticSpaceSharing(p)).run_batch(
+            BatchWorkload([JobSpec(app, "solo")])
+        )
+        predicted = matmul_job_time(n, p, config)
+        assert result.makespan == pytest.approx(predicted, rel=0.35)
+
+
+def test_sort_total_ops_matches_app():
+    app = SortApplication(4096)
+    for T in (1, 4, 16):
+        assert sort_total_ops(4096, T) == pytest.approx(app.total_ops(T))
+
+
+def test_parallel_efficiency():
+    assert parallel_efficiency(10.0, 2.5, 4) == pytest.approx(1.0)
+    assert parallel_efficiency(10.0, 5.0, 4) == pytest.approx(0.5)
+    with pytest.raises(ValueError):
+        parallel_efficiency(10, 0, 4)
+
+
+# ----------------------------------------------------------------- queueing
+def test_mm1_formula():
+    assert mm1_mean_response(0.5, 1.0) == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        mm1_mean_response(1.0, 1.0)
+
+
+def test_erlang_c_known_values():
+    # Single server: Erlang C reduces to rho.
+    assert erlang_c(1, 0.5) == pytest.approx(0.5)
+    # c=2, a=1: C = 1/3 (textbook).
+    assert erlang_c(2, 1.0) == pytest.approx(1 / 3)
+    with pytest.raises(ValueError):
+        erlang_c(2, 2.0)
+
+
+def test_mmc_reduces_to_mm1():
+    assert mmc_mean_response(0.5, 1.0, 1) == pytest.approx(
+        mm1_mean_response(0.5, 1.0)
+    )
+
+
+def test_mmc_more_servers_faster():
+    r2 = mmc_mean_response(1.5, 1.0, 2)
+    r4 = mmc_mean_response(1.5, 1.0, 4)
+    assert r4 < r2

@@ -1,0 +1,287 @@
+"""Tests for the collective communication operations."""
+
+import pytest
+
+from repro.comm import (
+    CollectiveContext,
+    Network,
+    barrier,
+    broadcast,
+    gather,
+    reduce,
+    scatter,
+)
+from repro.comm.collectives import _tree_children, _tree_parent
+from repro.sim import Environment
+from repro.topology import hypercube, linear_array, mesh
+from repro.transputer import TransputerConfig, TransputerNode
+
+
+def build(n, topo_fn=linear_array):
+    env = Environment()
+    cfg = TransputerConfig(context_switch_overhead=0.0)
+    nodes = {i: TransputerNode(env, i, cfg) for i in range(n)}
+    net = Network(env, nodes, topo_fn(range(n)), cfg)
+    ctx = CollectiveContext(env, net, range(n))
+    return env, net, ctx
+
+
+# ------------------------------------------------------------- tree shape
+def test_binomial_tree_children():
+    assert _tree_children(0, 16) == [1, 2, 4, 8]
+    assert _tree_children(1, 16) == [3, 5, 9]
+    assert _tree_children(3, 16) == [7, 11]
+    assert _tree_children(7, 16) == [15]
+    assert _tree_children(15, 16) == []
+    assert _tree_children(0, 1) == []
+
+
+def test_binomial_tree_parent_inverts_children():
+    size = 16
+    for rank in range(size):
+        for child in _tree_children(rank, size):
+            assert _tree_parent(child) == rank
+    with pytest.raises(ValueError):
+        _tree_parent(0)
+
+
+def test_binomial_tree_spans_all_ranks():
+    for size in (1, 2, 5, 8, 13, 16):
+        reached = {0}
+        frontier = [0]
+        while frontier:
+            rank = frontier.pop()
+            for child in _tree_children(rank, size):
+                assert child not in reached
+                reached.add(child)
+                frontier.append(child)
+        assert reached == set(range(size))
+
+
+# --------------------------------------------------------------- broadcast
+@pytest.mark.parametrize("size", [1, 2, 4, 7, 8])
+def test_broadcast_reaches_everyone(size):
+    env, net, ctx = build(size)
+
+    def run(env):
+        value = yield from broadcast(ctx, 0, 2000, payload="hello")
+        return value
+
+    p = env.process(run(env))
+    assert env.run(until=p) == "hello"
+    if size > 1:
+        assert net.stats.messages_delivered == size - 1
+
+
+def test_broadcast_nonzero_root():
+    env, net, ctx = build(8)
+
+    def run(env):
+        yield from broadcast(ctx, 5, 1000, payload=42)
+
+    env.process(run(env))
+    env.run()
+    assert net.stats.messages_delivered == 7
+
+
+def test_broadcast_log_rounds_faster_than_flat_on_big_payload():
+    """A binomial tree uses every node's links; a flat send serialises
+    at the root.  With 8 ranks the tree must win."""
+    def tree_time():
+        env, net, ctx = build(8, hypercube)
+
+        def run(env):
+            yield from broadcast(ctx, 0, 60_000)
+
+        env.process(run(env))
+        env.run()
+        return env.now
+
+    def flat_time():
+        env, net, ctx = build(8, hypercube)
+
+        def run(env):
+            yield from scatter(ctx, 0, 60_000)
+
+        env.process(run(env))
+        env.run()
+        return env.now
+
+    assert tree_time() < flat_time()
+
+
+def test_broadcast_invalid_root():
+    env, net, ctx = build(4)
+    with pytest.raises(ValueError):
+        list(broadcast(ctx, 9, 100))
+
+
+# ----------------------------------------------------------- scatter/gather
+def test_scatter_distinct_payloads():
+    env, net, ctx = build(4)
+    got = {}
+
+    def receiverless_run(env):
+        yield from scatter(ctx, 0, [0, 100, 200, 300],
+                           payloads=["r0", "r1", "r2", "r3"])
+
+    # scatter waits for delivery internally; verify via mailboxes after.
+    def run(env):
+        mine = yield from scatter(ctx, 0, 100,
+                                  payloads=["r0", "r1", "r2", "r3"])
+        got["root"] = mine
+
+    env.process(run(env))
+    env.run()
+    assert got["root"] == "r0"
+    assert net.stats.messages_delivered == 3
+
+
+def test_scatter_size_mismatch():
+    env, net, ctx = build(4)
+    with pytest.raises(ValueError):
+        list(scatter(ctx, 0, [1, 2]))
+
+
+def test_gather_collects_in_rank_order():
+    env, net, ctx = build(5)
+    out = {}
+
+    def run(env):
+        values = yield from gather(ctx, 0, 500,
+                                   payloads=[f"v{r}" for r in range(5)])
+        out["values"] = values
+
+    env.process(run(env))
+    env.run()
+    assert out["values"] == ["v0", "v1", "v2", "v3", "v4"]
+
+
+def test_gather_to_nonzero_root():
+    env, net, ctx = build(4)
+    out = {}
+
+    def run(env):
+        out["v"] = yield from gather(ctx, 2, 100, payloads=list("abcd"))
+
+    env.process(run(env))
+    env.run()
+    assert out["v"] == list("abcd")
+
+
+# ------------------------------------------------------------------- reduce
+@pytest.mark.parametrize("size", [1, 2, 4, 6, 8])
+def test_reduce_sums_contributions(size):
+    env, net, ctx = build(size, mesh)
+    out = {}
+
+    def run(env):
+        total = yield from reduce(ctx, 0, 100, values=list(range(size)))
+        out["total"] = total
+
+    env.process(run(env))
+    env.run()
+    assert out["total"] == sum(range(size))
+
+
+def test_reduce_custom_combiner_and_cost():
+    env, net, ctx = build(4)
+    out = {}
+
+    def run(env):
+        best = yield from reduce(ctx, 0, 100, values=[3, 9, 1, 7],
+                                 combine=max, combine_seconds=0.01)
+        out["best"] = best
+
+    env.process(run(env))
+    env.run()
+    assert out["best"] == 9
+    # Combining cost was charged somewhere.
+    assert sum(n.cpu.stats.low_time for n in net.nodes.values()) >= 0.03
+
+
+def test_reduce_value_count_mismatch():
+    env, net, ctx = build(4)
+    with pytest.raises(ValueError):
+        list(reduce(ctx, 0, 10, values=[1, 2]))
+
+
+# ------------------------------------------------------------------ barrier
+def test_barrier_synchronises_ranks():
+    env, net, ctx = build(4)
+    log = []
+
+    def member(env, rank, delay):
+        yield env.timeout(delay)
+        log.append(("arrive", rank, env.now))
+
+    # Drive a barrier after all members have "arrived".
+    def run(env):
+        members = [env.process(member(env, r, r * 2.0)) for r in range(4)]
+        yield env.all_of(members)
+        yield from barrier(ctx)
+        log.append(("released", env.now))
+
+    env.process(run(env))
+    env.run()
+    release = [entry for entry in log if entry[0] == "released"]
+    arrivals = [entry for entry in log if entry[0] == "arrive"]
+    assert len(release) == 1
+    assert release[0][1] >= max(t for _, _, t in arrivals)
+
+
+# ------------------------------------------------------------ context rules
+def test_collective_context_validation():
+    env, net, _ = build(4)
+    with pytest.raises(ValueError):
+        CollectiveContext(env, net, [])
+    with pytest.raises(ValueError):
+        CollectiveContext(env, net, [0, 0, 1])
+
+
+def test_property_collectives_random_sizes_and_roots():
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(st.integers(min_value=1, max_value=9),
+           st.integers(min_value=0, max_value=8),
+           st.sampled_from([linear_array, mesh]))
+    @settings(max_examples=25, deadline=None)
+    def check(size, root, topo_fn):
+        root = root % size
+        env, net, ctx = build(size, topo_fn)
+        out = {}
+
+        def run(env):
+            value = yield from broadcast(ctx, root, 500, payload="v")
+            out["bcast"] = value
+            total = yield from reduce(ctx, root, 64,
+                                      values=list(range(size)))
+            out["reduce"] = total
+
+        env.process(run(env))
+        env.run()
+        assert out["bcast"] == "v"
+        assert out["reduce"] == sum(range(size))
+        # All mailbox memory returned.
+        for node in net.nodes.values():
+            assert node.mailbox_memory.in_use == 0
+
+    check()
+
+
+def test_concurrent_collectives_do_not_crosstalk():
+    env, net, ctx = build(4)
+    out = {}
+
+    def run_a(env):
+        out["a"] = yield from gather(ctx, 0, 64, payloads=list("AAAA"))
+
+    def run_b(env):
+        out["b"] = yield from gather(ctx, 0, 64, payloads=list("BBBB"))
+
+    env.process(run_a(env))
+    env.process(run_b(env))
+    env.run()
+    assert out["a"] == list("AAAA")
+    assert out["b"] == list("BBBB")

@@ -1,0 +1,113 @@
+"""Tests for the scheduling policies' partitioning and quantum rules."""
+
+import pytest
+
+from repro.core import (
+    DynamicSpaceSharing,
+    HybridPolicy,
+    RRProcessPolicy,
+    StaticSpaceSharing,
+    TimeSharing,
+)
+from repro.transputer import TransputerConfig
+
+
+def test_static_partitioning():
+    policy = StaticSpaceSharing(partition_size=4)
+    assert policy.partition_size(16) == 4
+    assert policy.num_partitions(16) == 4
+    assert policy.jobs_per_partition_limit() == 1
+    assert not policy.time_shared
+    assert policy.quantum_for(16, 4, TransputerConfig()) is None
+
+
+def test_static_invalid_partition_size():
+    with pytest.raises(ValueError):
+        StaticSpaceSharing(0)
+    with pytest.raises(ValueError):
+        StaticSpaceSharing(3).validate(16)  # 3 does not divide 16
+    with pytest.raises(ValueError):
+        StaticSpaceSharing(32).validate(16)
+
+
+def test_timesharing_single_partition():
+    policy = TimeSharing()
+    assert policy.partition_size(16) == 16
+    assert policy.num_partitions(16) == 1
+    assert policy.jobs_per_partition_limit() is None
+    assert policy.time_shared
+
+
+def test_rr_job_quantum_rule():
+    """Q = (P/T) q: equal *job* shares regardless of process count."""
+    config = TransputerConfig(scheduler_quantum=0.01)
+    policy = TimeSharing()
+    # 16 processes on 16 processors: Q = q.
+    assert policy.quantum_for(16, 16, config) == pytest.approx(0.01)
+    # 4 processes on 16 processors: each gets 4x the quantum.
+    assert policy.quantum_for(4, 16, config) == pytest.approx(0.04)
+    # job power = T * Q = P * q in both cases.
+    assert 16 * policy.quantum_for(16, 16, config) == pytest.approx(
+        4 * policy.quantum_for(4, 16, config)
+    )
+
+
+def test_hybrid_is_generalisation_of_timesharing():
+    config = TransputerConfig()
+    hybrid = HybridPolicy(partition_size=4)
+    assert hybrid.partition_size(16) == 4
+    assert hybrid.num_partitions(16) == 4
+    assert hybrid.time_shared
+    # Same quantum rule, partition-relative.
+    assert hybrid.quantum_for(4, 4, config) == pytest.approx(
+        config.scheduler_quantum
+    )
+
+
+def test_explicit_basic_quantum_overrides_config():
+    config = TransputerConfig(scheduler_quantum=0.01)
+    policy = TimeSharing(basic_quantum=0.5)
+    assert policy.quantum_for(16, 16, config) == pytest.approx(0.5)
+
+
+def test_rr_process_fixed_quantum():
+    """RR-process ignores the process count — the unfair variant."""
+    config = TransputerConfig(scheduler_quantum=0.01)
+    policy = RRProcessPolicy()
+    assert policy.quantum_for(16, 16, config) == pytest.approx(0.01)
+    assert policy.quantum_for(1, 16, config) == pytest.approx(0.01)
+    # Job power is now proportional to T: 16x for the 16-process job.
+    assert 16 * policy.quantum_for(16, 16, config) == pytest.approx(
+        16 * 1 * policy.quantum_for(1, 16, config) * 16 / 16
+    )
+
+
+def test_quantum_rejects_bad_process_count():
+    with pytest.raises(ValueError):
+        TimeSharing().quantum_for(0, 16, TransputerConfig())
+
+
+def test_dynamic_sizing_rule():
+    policy = DynamicSpaceSharing()
+    assert policy.dynamic
+    # Idle machine, one job: the whole machine.
+    assert policy.choose_size(16, 1, 0, 16) == 16
+    # Four waiting jobs: a quarter each.
+    assert policy.choose_size(16, 4, 0, 16) == 4
+    # Load counts running jobs too.
+    assert policy.choose_size(8, 1, 3, 16) == 4
+    # Powers of two only.
+    assert policy.choose_size(6, 1, 0, 16) in (1, 2, 4)
+    # No free processors: no dispatch.
+    assert policy.choose_size(0, 5, 3, 16) == 0
+
+
+def test_dynamic_max_partition_cap():
+    policy = DynamicSpaceSharing(max_partition=4)
+    assert policy.choose_size(16, 1, 0, 16) == 4
+
+
+def test_policy_labels():
+    assert "static" in StaticSpaceSharing(4).label(16)
+    assert "16" in TimeSharing().label(16)
+    assert repr(HybridPolicy(2, basic_quantum=0.01))

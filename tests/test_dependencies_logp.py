@@ -1,0 +1,136 @@
+"""Tests for workflow dependencies and the LogP model."""
+
+import pytest
+
+from repro.analysis import (
+    broadcast_time,
+    flat_scatter_time,
+    logp_params,
+    reduce_time,
+)
+from repro.comm import CollectiveContext, Network, broadcast, scatter
+from repro.core import (
+    MulticomputerSystem,
+    StaticSpaceSharing,
+    SystemConfig,
+    TimeSharing,
+)
+from repro.sim import Environment
+from repro.topology import fully_connected
+from repro.transputer import TransputerConfig, TransputerNode
+from repro.workload import BatchWorkload, JobSpec, SyntheticForkJoin
+
+from tests.conftest import ideal_transputer
+
+
+# -------------------------------------------------------------- dependencies
+def make_system(policy=None, num_nodes=4):
+    cfg = SystemConfig(num_nodes=num_nodes, topology="linear",
+                       transputer=ideal_transputer())
+    return MulticomputerSystem(cfg, policy or StaticSpaceSharing(num_nodes))
+
+
+def spec(ops=5e4, deps=()):
+    return JobSpec(SyntheticForkJoin(ops, architecture="adaptive",
+                                     message_bytes=64), "w",
+                   depends_on=tuple(deps))
+
+
+def test_chain_dependencies_serialise_execution():
+    batch = BatchWorkload([spec(), spec(deps=(0,)), spec(deps=(1,))])
+    result = make_system().run_batch(batch)
+    j0, j1, j2 = result.jobs
+    assert j0.completed_at <= j1.submitted_at
+    assert j1.completed_at <= j2.submitted_at
+    # Each job's own response time is measured from its release.
+    assert j2.response_time < result.makespan
+
+
+def test_diamond_dependencies():
+    #    0
+    #   / \
+    #  1   2
+    #   \ /
+    #    3
+    batch = BatchWorkload([
+        spec(), spec(deps=(0,)), spec(deps=(0,)), spec(deps=(1, 2)),
+    ])
+    result = make_system(TimeSharing()).run_batch(batch)
+    j = result.jobs
+    assert j[3].submitted_at >= max(j[1].completed_at, j[2].completed_at)
+    # The two middle jobs were released together.
+    assert j[1].submitted_at == pytest.approx(j[2].submitted_at)
+
+
+def test_independent_jobs_unaffected_by_dependency_machinery():
+    plain = BatchWorkload([spec(), spec(), spec()])
+    result = make_system(TimeSharing()).run_batch(plain)
+    assert all(j.submitted_at == 0 for j in result.jobs)
+
+
+def test_dependency_validation():
+    with pytest.raises(ValueError, match="out-of-range"):
+        make_system().run_batch(BatchWorkload([spec(deps=(5,))]))
+    with pytest.raises(ValueError, match="depends on itself"):
+        make_system().run_batch(BatchWorkload([spec(deps=(0,))]))
+    with pytest.raises(ValueError, match="cycle"):
+        make_system().run_batch(
+            BatchWorkload([spec(deps=(1,)), spec(deps=(0,))])
+        )
+
+
+# ---------------------------------------------------------------------- LogP
+def test_logp_params_basics():
+    cfg = TransputerConfig()
+    p = logp_params(cfg, 4096, hops=1, processors=16)
+    assert p.overhead > 0 and p.gap > 0 and p.latency > 0
+    assert p.point_to_point() == pytest.approx(
+        2 * p.overhead + p.latency
+    )
+    # More hops raise latency, not overhead.
+    p3 = logp_params(cfg, 4096, hops=3)
+    assert p3.latency > p.latency
+    assert p3.overhead == p.overhead
+    with pytest.raises(ValueError):
+        logp_params(cfg, -1)
+    with pytest.raises(ValueError):
+        logp_params(cfg, 10, hops=0)
+
+
+def test_logp_collective_formulas_scale():
+    cfg = TransputerConfig()
+    p = logp_params(cfg, 8192, processors=16)
+    assert broadcast_time(p) == pytest.approx(4 * p.point_to_point())
+    assert flat_scatter_time(p) > broadcast_time(p)  # root serialises
+    assert reduce_time(p, combine_seconds=0.01) > broadcast_time(p)
+    p1 = logp_params(cfg, 8192, processors=1)
+    assert broadcast_time(p1) == 0.0
+
+
+def test_logp_predicts_simulated_broadcast():
+    """On a fully connected network (hops = 1 everywhere) the LogP
+    binomial-tree estimate must track the simulated broadcast."""
+    cfg = TransputerConfig(context_switch_overhead=0.0)
+    n, nbytes = 8, 20_000
+    env = Environment()
+    nodes = {i: TransputerNode(env, i, cfg) for i in range(n)}
+    net = Network(env, nodes, fully_connected(range(n)), cfg)
+    ctx = CollectiveContext(env, net, range(n))
+
+    def run(env):
+        yield from broadcast(ctx, 0, nbytes)
+
+    env.process(run(env))
+    env.run()
+    simulated = env.now
+    params = logp_params(cfg, nbytes, hops=1, processors=n)
+    predicted = broadcast_time(params)
+    assert simulated == pytest.approx(predicted, rel=0.5)
+
+
+def test_logp_flat_vs_tree_ordering_matches_simulation():
+    """LogP predicts tree < flat for big payloads at P=8; the simulated
+    collectives must agree (they do — see test_comm_collectives)."""
+    cfg = TransputerConfig()
+    params = logp_params(cfg, 60_000, processors=8)
+    assert broadcast_time(params) < flat_scatter_time(params)

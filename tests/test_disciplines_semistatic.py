@@ -1,0 +1,153 @@
+"""Tests for queue disciplines and the semi-static policy."""
+
+import pytest
+
+from repro.core import (
+    MulticomputerSystem,
+    SemiStaticSpaceSharing,
+    StaticSpaceSharing,
+    SystemConfig,
+)
+from repro.workload import standard_batch
+
+from tests.conftest import ideal_transputer
+
+
+def make_system(policy, num_nodes=4):
+    cfg = SystemConfig(num_nodes=num_nodes, topology="linear",
+                       transputer=ideal_transputer())
+    return MulticomputerSystem(cfg, policy)
+
+
+def batch():
+    return standard_batch("matmul", architecture="adaptive", num_small=3,
+                          num_large=1, small_size=20, large_size=60)
+
+
+# ----------------------------------------------------------- disciplines
+def test_discipline_validation():
+    with pytest.raises(ValueError):
+        StaticSpaceSharing(4, discipline="random")
+    assert StaticSpaceSharing(4, discipline="sjf").discipline == "sjf"
+
+
+def test_sjf_matches_best_ordering():
+    """SJF dispatch of an arbitrary-order queue equals FCFS dispatch of
+    the best (smallest-first) ordering."""
+    fcfs_best = make_system(StaticSpaceSharing(4)).run_batch(
+        batch().ordered("best")
+    )
+    sjf = make_system(StaticSpaceSharing(4, discipline="sjf")).run_batch(
+        batch().ordered("worst")  # adversarial arrival order
+    )
+    assert sjf.mean_response_time == pytest.approx(
+        fcfs_best.mean_response_time, rel=0.01
+    )
+
+
+def test_ljf_matches_worst_ordering():
+    fcfs_worst = make_system(StaticSpaceSharing(4)).run_batch(
+        batch().ordered("worst")
+    )
+    ljf = make_system(StaticSpaceSharing(4, discipline="ljf")).run_batch(
+        batch().ordered("best")
+    )
+    assert ljf.mean_response_time == pytest.approx(
+        fcfs_worst.mean_response_time, rel=0.01
+    )
+
+
+def test_sjf_beats_ljf():
+    sjf = make_system(StaticSpaceSharing(4, discipline="sjf")).run_batch(
+        batch()
+    )
+    ljf = make_system(StaticSpaceSharing(4, discipline="ljf")).run_batch(
+        batch()
+    )
+    assert sjf.mean_response_time < ljf.mean_response_time
+
+
+def test_select_next_indices():
+    policy = StaticSpaceSharing(4, discipline="sjf")
+
+    class FakeJob:
+        def __init__(self, ops):
+            self.application = type("A", (), {
+                "total_ops": staticmethod(lambda p, _o=ops: _o)
+            })()
+
+    queue = [FakeJob(30), FakeJob(10), FakeJob(20)]
+    assert policy.select_next(queue) == 1
+    policy_ljf = StaticSpaceSharing(4, discipline="ljf")
+    assert policy_ljf.select_next(queue) == 0
+    policy_fcfs = StaticSpaceSharing(4)
+    assert policy_fcfs.select_next(queue) == 0
+
+
+# ------------------------------------------------------------ semi-static
+def test_semi_static_sizing_rule():
+    policy = SemiStaticSpaceSharing()
+    # One job: the whole machine.  16 jobs: one processor each.
+    assert policy.partition_size_for_batch(1, 16) == 16
+    assert policy.partition_size_for_batch(4, 16) == 4
+    assert policy.partition_size_for_batch(16, 16) == 1
+    assert policy.partition_size_for_batch(100, 16) == 1
+    # Non-power-of-two demand rounds down to a power of two.
+    assert policy.partition_size_for_batch(3, 16) == 4
+    with pytest.raises(ValueError):
+        policy.partition_size_for_batch(0, 16)
+
+
+def test_semi_static_max_partition_cap():
+    policy = SemiStaticSpaceSharing(max_partition=4)
+    assert policy.partition_size_for_batch(1, 16) == 4
+    with pytest.raises(ValueError):
+        SemiStaticSpaceSharing(max_partition=0)
+
+
+def test_run_batches_reconfigures_per_batch():
+    policy = SemiStaticSpaceSharing()
+    system = make_system(policy, num_nodes=4)
+    small_batch = standard_batch("matmul", architecture="adaptive",
+                                 num_small=1, num_large=0, small_size=20)
+    big_batch = standard_batch("matmul", architecture="adaptive",
+                               num_small=4, num_large=0, small_size=20)
+    results = system.run_batches([small_batch, big_batch])
+    assert len(results) == 2
+    # Batch of 1: one 4-node partition. Batch of 4: four 1-node ones.
+    assert results[0].jobs[0].num_processes == 4
+    assert results[1].jobs[0].num_processes == 1
+
+
+def test_run_batches_static_policy_fixed_size():
+    system = make_system(StaticSpaceSharing(2))
+    results = system.run_batches([batch(), batch()])
+    assert len(results) == 2
+    for result in results:
+        assert all(j.num_processes == 2 for j in result.jobs)
+    with pytest.raises(ValueError):
+        system.run_batches([])
+
+
+def test_semi_static_adapts_better_than_any_fixed_size():
+    """Across a mixed sequence (a lone job, then a crowd), semi-static
+    matches or beats every fixed partition size on total mean response.
+
+    Uses realistic communication costs — with free communication a
+    large partition dominates trivially (perfect speedup), and the
+    adaptivity has nothing to win."""
+    lone = standard_batch("matmul", architecture="adaptive", num_small=0,
+                          num_large=1, large_size=80)
+    crowd = standard_batch("matmul", architecture="adaptive", num_small=4,
+                           num_large=0, small_size=50)
+
+    def total_mean(policy):
+        cfg = SystemConfig(num_nodes=4, topology="linear")
+        system = MulticomputerSystem(cfg, policy)
+        results = system.run_batches([lone, crowd])
+        times = [t for r in results for t in r.response_times]
+        return sum(times) / len(times)
+
+    semi = total_mean(SemiStaticSpaceSharing())
+    fixed = [total_mean(StaticSpaceSharing(p)) for p in (1, 2, 4)]
+    assert semi <= min(fixed) * 1.02

@@ -1,0 +1,159 @@
+"""Tests for the experiment harness: grids, reports, CLI."""
+
+import io
+
+import pytest
+
+from repro.experiments import (
+    ExperimentScale,
+    figure_spec,
+    format_grid,
+    grid_to_csv,
+    run_cell,
+    run_figure,
+)
+from repro.experiments.ablations import ALL_ABLATIONS
+from repro.experiments.cli import main as cli_main
+from repro.experiments.report import format_ablation
+from repro.experiments.runner import GridCell, _policy_for
+
+
+def tiny_scale():
+    """Very small problem sizes so harness tests run in milliseconds."""
+    return ExperimentScale(
+        "tiny", num_small=2, num_large=1,
+        matmul_small=16, matmul_large=32,
+        sort_small=256, sort_large=512,
+        partition_sizes=(1, 4), topologies=("linear",),
+    )
+
+
+def test_figure_specs():
+    for number, app, arch in [(3, "matmul", "fixed"), (4, "matmul", "adaptive"),
+                              (5, "sort", "fixed"), (6, "sort", "adaptive")]:
+        spec = figure_spec(number)
+        assert spec.app == app
+        assert spec.architecture == arch
+    with pytest.raises(ValueError):
+        figure_spec(7)
+
+
+def test_policy_factory():
+    assert _policy_for("static", 4, 16).partition_size(16) == 4
+    assert _policy_for("timesharing", 16, 16).name == "timesharing"
+    assert _policy_for("timesharing", 4, 16).name == "hybrid"
+    with pytest.raises(ValueError):
+        _policy_for("gang", 4, 16)
+
+
+def test_run_cell_static_and_ts():
+    scale = tiny_scale()
+    for policy in ("static", "timesharing"):
+        cell = run_cell(3, "matmul", "fixed", 4, "linear", policy, scale)
+        assert isinstance(cell, GridCell)
+        assert cell.mean_response_time > 0
+        assert cell.label == "4L"
+        assert cell.row() == ("4L", policy, cell.mean_response_time)
+
+
+def test_run_figure_skips_16_hypercube():
+    scale = ExperimentScale(
+        "tiny", 2, 1, 16, 32, 256, 512,
+        partition_sizes=(16,), topologies=("hypercube",),
+    )
+    cells = run_figure(figure_spec(3), scale)
+    assert cells == []
+
+
+def test_run_figure_p1_single_topology():
+    scale = ExperimentScale(
+        "tiny", 2, 1, 16, 32, 256, 512,
+        partition_sizes=(1,), topologies=("linear", "mesh"),
+    )
+    cells = run_figure(figure_spec(4), scale)
+    # p=1 has no links: one topology, two policies.
+    assert len(cells) == 2
+
+
+def test_run_figure_produces_grid_and_progress():
+    seen = []
+    cells = run_figure(figure_spec(4), tiny_scale(), progress=seen.append)
+    assert len(cells) == len(seen) == 4  # 2 partition sizes x 2 policies
+    labels = {c.label for c in cells}
+    assert labels == {"1L", "4L"}
+
+
+def test_format_grid_contains_ratio():
+    cells = run_figure(figure_spec(4), tiny_scale())
+    text = format_grid(cells, title="demo")
+    assert "demo" in text
+    assert "ts/static" in text
+    assert "4L" in text
+
+
+def test_grid_to_csv_roundtrip():
+    cells = run_figure(figure_spec(4), tiny_scale())
+    csv = grid_to_csv(cells)
+    lines = csv.strip().splitlines()
+    assert len(lines) == len(cells) + 1
+    assert lines[0].startswith("figure,app,architecture")
+
+
+def test_format_ablation_alignment():
+    rows = [{"a": 1.0, "b": "x"}, {"a": 2.5, "b": "y"}]
+    text = format_ablation(rows, ["a", "b"], title="T")
+    assert "T" in text and "2.500" in text and "y" in text
+
+
+def test_ablation_registry_complete():
+    assert {"variance", "wormhole", "memory", "rrprocess", "quantum",
+            "placement", "host"} <= set(ALL_ABLATIONS)
+
+
+def test_scales():
+    paper = ExperimentScale.paper()
+    assert paper.num_small == 12 and paper.num_large == 4
+    assert paper.batch_kwargs("matmul")["small_size"] == 55
+    assert paper.batch_kwargs("sort")["large_size"] == 14_000
+    with pytest.raises(ValueError):
+        paper.batch_kwargs("fft")
+    smoke = ExperimentScale.smoke()
+    assert smoke.matmul_large < paper.matmul_large
+
+
+def test_fraction_preserving_finding():
+    from repro.experiments.sensitivity import fraction_preserving_finding
+
+    rows = [{"ts/static": 1.2}, {"ts/static": 0.9}, {"ts/static": 1.05},
+            {"ts/static": 1.0}]
+    assert fraction_preserving_finding(rows) == pytest.approx(0.5)
+    assert fraction_preserving_finding([]) == 0.0
+
+
+def test_sensitivity_knob_table_complete():
+    from repro.experiments.sensitivity import DEFAULT_KNOBS
+    from repro.transputer import TransputerConfig
+    import dataclasses
+
+    fields = {f.name for f in dataclasses.fields(TransputerConfig)}
+    assert set(DEFAULT_KNOBS) <= fields
+
+
+def test_cli_requires_some_work(capsys):
+    with pytest.raises(SystemExit):
+        cli_main([])
+
+
+def test_cli_smoke_figure(capsys, tmp_path):
+    csv_path = tmp_path / "out.csv"
+    assert cli_main(["--figure", "4", "--scale", "smoke",
+                     "--csv", str(csv_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 4" in out
+    assert csv_path.exists()
+    assert "figure,app" in csv_path.read_text()
+
+
+def test_cli_unknown_ablation():
+    with pytest.raises(SystemExit):
+        cli_main(["--ablation", "nonexistent"])

@@ -1,0 +1,83 @@
+"""Tests for batch metrics: slowdowns, percentiles, class breakdowns."""
+
+import pytest
+
+from repro.core import (
+    MulticomputerSystem,
+    StaticSpaceSharing,
+    SystemConfig,
+    TimeSharing,
+)
+from repro.core.metrics import merge_static_orderings
+from repro.workload import standard_batch
+
+from tests.conftest import ideal_transputer
+
+
+def run(policy, **batch_kwargs):
+    cfg = SystemConfig(num_nodes=4, topology="linear",
+                       transputer=ideal_transputer())
+    defaults = dict(num_small=3, num_large=1, small_size=20, large_size=40)
+    defaults.update(batch_kwargs)
+    batch = standard_batch("matmul", architecture="adaptive", **defaults)
+    return MulticomputerSystem(cfg, policy).run_batch(batch)
+
+
+def test_slowdowns_positive_and_bounded_below():
+    result = run(StaticSpaceSharing(4))
+    slowdowns = result.slowdowns()
+    assert len(slowdowns) == 4
+    # Response can't beat the demand at reference speed on 4 cpus by
+    # more than the parallelism factor.
+    assert all(s > 0.2 for s in slowdowns)
+    assert result.mean_slowdown() == pytest.approx(
+        sum(slowdowns) / len(slowdowns)
+    )
+    assert result.max_slowdown() == max(slowdowns)
+
+
+def test_slowdown_custom_demand():
+    result = run(StaticSpaceSharing(4))
+    ones = result.slowdowns(demand=lambda job: 1.0)
+    assert ones == result.response_times
+
+
+def test_slowdown_rejects_bad_demand():
+    result = run(StaticSpaceSharing(4))
+    with pytest.raises(ValueError, match="non-positive"):
+        result.slowdowns(demand=lambda job: 0.0)
+
+
+def test_timesharing_flattens_slowdown_spread():
+    """Processor sharing equalises slowdowns across job sizes compared
+    with serial FCFS, where a small job behind a large one suffers."""
+    static = run(StaticSpaceSharing(4), num_small=3, num_large=1,
+                 small_size=16, large_size=64)
+    ts = run(TimeSharing(), num_small=3, num_large=1,
+             small_size=16, large_size=64)
+
+    def spread(result):
+        s = result.slowdowns()
+        return max(s) / min(s)
+
+    assert spread(ts) < spread(static)
+
+
+def test_percentile_response():
+    result = run(StaticSpaceSharing(4))
+    times = sorted(result.response_times)
+    assert result.percentile_response(100) == times[-1]
+    assert result.percentile_response(1) == times[0]
+    assert result.percentile_response(50) in times
+    with pytest.raises(ValueError):
+        result.percentile_response(101)
+
+
+def test_merge_static_orderings_averages_means():
+    a = run(StaticSpaceSharing(4))
+    b = run(StaticSpaceSharing(2))
+    merged = merge_static_orderings(a, b, label="m")
+    assert merged.label == "m"
+    assert merged.mean_response_time == pytest.approx(
+        (a.mean_response_time + b.mean_response_time) / 2
+    )

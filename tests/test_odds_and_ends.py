@@ -1,0 +1,85 @@
+"""Coverage for small public surfaces not exercised elsewhere."""
+
+import pytest
+
+from repro.core import (
+    MulticomputerSystem,
+    StaticSpaceSharing,
+    SystemConfig,
+    TimeSharing,
+)
+from repro.workload import standard_batch
+
+from tests.conftest import ideal_transputer
+
+
+def test_system_config_with_override():
+    base = SystemConfig(num_nodes=16, topology="linear")
+    variant = base.with_(topology="ring", placement="staggered")
+    assert variant.topology == "ring"
+    assert variant.placement == "staggered"
+    assert base.topology == "linear"  # original untouched
+    assert variant.num_nodes == 16
+
+
+def test_system_config_topology_kwargs():
+    cfg = SystemConfig(topology="hypercube", allow_full_hypercube=True)
+    assert cfg.topology_kwargs(16) == {"allow_full": True}
+    assert SystemConfig(topology="mesh").topology_kwargs(16) == {}
+    assert SystemConfig(topology="hypercube").topology_kwargs(8) == {}
+
+
+def test_link_utilizations_reported_per_direction():
+    cfg = SystemConfig(num_nodes=4, topology="linear",
+                       transputer=ideal_transputer())
+    system = MulticomputerSystem(cfg, TimeSharing())
+    result = system.run_batch(standard_batch(
+        "matmul", architecture="adaptive", num_small=2, num_large=0,
+        small_size=24))
+    utils = system.partitions[0].network.link_utilizations(result.makespan)
+    # Linear array of 4: three edges, two directions each.
+    assert len(utils) == 6
+    assert all(0 <= u <= 1 for u in utils.values())
+
+
+def test_describe_strings():
+    cfg = SystemConfig(num_nodes=16, topology="mesh")
+    system = MulticomputerSystem(cfg, StaticSpaceSharing(4))
+    text = system.describe()
+    assert "static" in text and "mesh" in text
+    assert "MulticomputerSystem" in repr(system)
+
+
+def test_job_and_partition_reprs():
+    cfg = SystemConfig(num_nodes=4, topology="ring",
+                       transputer=ideal_transputer())
+    system = MulticomputerSystem(cfg, StaticSpaceSharing(4))
+    result = system.run_batch(standard_batch(
+        "matmul", architecture="adaptive", num_small=1, num_large=0,
+        small_size=16))
+    job = result.jobs[0]
+    assert job.name in repr(job)
+    assert "4R" in repr(system.partitions[0])
+    assert "BatchResult" in repr(result)
+
+
+def test_topology_codes_for_extensions():
+    from repro.topology import star, torus
+
+    assert torus(range(4)).code == "T"
+    assert star(range(4)).code == "S"
+    assert torus(range(4)).label == "4T"
+
+
+def test_mean_wait_and_execution_metrics():
+    cfg = SystemConfig(num_nodes=4, topology="linear",
+                       transputer=ideal_transputer())
+    system = MulticomputerSystem(cfg, StaticSpaceSharing(4))
+    result = system.run_batch(standard_batch(
+        "matmul", architecture="adaptive", num_small=3, num_large=0,
+        small_size=20))
+    assert result.mean_wait_time > 0  # jobs queued behind each other
+    assert result.mean_execution_time > 0
+    assert result.mean_response_time == pytest.approx(
+        result.mean_wait_time + result.mean_execution_time, rel=1e-9
+    )

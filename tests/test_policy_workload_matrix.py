@@ -1,0 +1,94 @@
+"""Cross-product smoke matrix: every policy x every workload completes.
+
+Each cell runs a miniature batch end to end and checks the universal
+postconditions (all jobs complete, memory reclaimed, work done).  This
+is the regression net that catches interactions the focused tests miss.
+"""
+
+import pytest
+
+from repro.core import (
+    DynamicSpaceSharing,
+    GangScheduling,
+    HybridPolicy,
+    MulticomputerSystem,
+    RRProcessPolicy,
+    SemiStaticSpaceSharing,
+    StaticSpaceSharing,
+    SystemConfig,
+    TimeSharing,
+)
+from repro.core.job import JobState
+from repro.workload import (
+    BatchWorkload,
+    ButterflyApplication,
+    JobSpec,
+    MatMulApplication,
+    PipelineApplication,
+    SortApplication,
+    StencilApplication,
+    SyntheticForkJoin,
+)
+
+from tests.conftest import ideal_transputer
+
+POLICIES = {
+    "static": lambda: StaticSpaceSharing(2),
+    "static-sjf": lambda: StaticSpaceSharing(2, discipline="sjf"),
+    "timesharing": TimeSharing,
+    "hybrid": lambda: HybridPolicy(2),
+    "rr-process": RRProcessPolicy,
+    "gang": lambda: GangScheduling(2, gang_slot=0.02),
+    "dynamic": DynamicSpaceSharing,
+    "semi-static": SemiStaticSpaceSharing,
+}
+
+WORKLOADS = {
+    "matmul": lambda arch: MatMulApplication(24, architecture=arch),
+    "matmul-tree": lambda arch: MatMulApplication(
+        24, architecture=arch, b_distribution="tree"),
+    "sort": lambda arch: SortApplication(256, architecture=arch),
+    "synthetic": lambda arch: SyntheticForkJoin(5e4, architecture=arch),
+    "stencil": lambda arch: StencilApplication(32, iterations=2,
+                                               architecture=arch),
+    "pipeline": lambda arch: PipelineApplication(5, 1e4, architecture=arch),
+    "butterfly": lambda arch: ButterflyApplication(256, architecture=arch),
+}
+
+
+@pytest.mark.parametrize("policy_name", sorted(POLICIES))
+@pytest.mark.parametrize("workload_name", sorted(WORKLOADS))
+def test_policy_workload_cell(policy_name, workload_name):
+    arch = "adaptive"
+    app = WORKLOADS[workload_name](arch)
+    cfg = SystemConfig(num_nodes=4, topology="mesh",
+                       transputer=ideal_transputer())
+    system = MulticomputerSystem(cfg, POLICIES[policy_name]())
+    batch = BatchWorkload([JobSpec(app, "a"), JobSpec(app, "b")])
+    result = system.run_batch(batch)
+
+    assert len(result.jobs) == 2
+    for job in result.jobs:
+        assert job.state is JobState.COMPLETED
+        assert job.response_time > 0
+    for node in system.nodes.values():
+        assert node.memory.in_use == 0
+        assert node.mailbox_memory.in_use == 0
+    total_low = sum(n.cpu.stats.low_time for n in system.nodes.values())
+    assert total_low > 0
+
+
+@pytest.mark.parametrize("workload_name",
+                         ["matmul", "sort", "butterfly"])
+def test_fixed_architecture_cells(workload_name):
+    """The fixed architecture (16 processes on 4 nodes) with every
+    time-shared policy."""
+    app = WORKLOADS[workload_name]("fixed")
+    cfg = SystemConfig(num_nodes=4, topology="linear",
+                       transputer=ideal_transputer())
+    for policy in (TimeSharing(), HybridPolicy(2),
+                   GangScheduling(4, gang_slot=0.02)):
+        system = MulticomputerSystem(cfg, policy)
+        result = system.run_batch(BatchWorkload([JobSpec(app, "x")]))
+        assert result.jobs[0].num_processes == 16
+        assert result.jobs[0].state is JobState.COMPLETED

@@ -1,0 +1,131 @@
+"""Property-based tests of the scheduler hierarchy's invariants.
+
+Random batches over random policy configurations must always satisfy:
+
+- every job completes exactly once, with chronological timestamps;
+- static space-sharing never runs two jobs in one partition at a time;
+- time-shared partitions hold exactly their equitable share;
+- total low-priority CPU time equals the batch's analytic demand
+  (computation is neither lost nor invented);
+- response times are reproducible (determinism).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    HybridPolicy,
+    MulticomputerSystem,
+    StaticSpaceSharing,
+    SystemConfig,
+    TimeSharing,
+)
+from repro.core.job import JobState
+from repro.workload import BatchWorkload, JobSpec, SyntheticForkJoin
+
+from tests.conftest import ideal_transputer
+
+
+@st.composite
+def batch_configs(draw):
+    num_nodes = draw(st.sampled_from([2, 4, 8]))
+    policy_kind = draw(st.sampled_from(["static", "hybrid", "ts"]))
+    divisors = [p for p in (1, 2, 4, 8) if num_nodes % p == 0 and
+                p <= num_nodes]
+    p = draw(st.sampled_from(divisors))
+    jobs = draw(st.lists(
+        st.floats(min_value=1e3, max_value=3e5),  # total_ops
+        min_size=1, max_size=8,
+    ))
+    return num_nodes, policy_kind, p, jobs
+
+
+def build(num_nodes, policy_kind, p, jobs):
+    if policy_kind == "static":
+        policy = StaticSpaceSharing(p)
+    elif policy_kind == "hybrid":
+        policy = HybridPolicy(p)
+    else:
+        policy = TimeSharing()
+    cfg = SystemConfig(num_nodes=num_nodes, topology="linear",
+                       transputer=ideal_transputer())
+    batch = BatchWorkload([
+        JobSpec(SyntheticForkJoin(ops, architecture="adaptive",
+                                  message_bytes=256), f"j{i}")
+        for i, ops in enumerate(jobs)
+    ])
+    return MulticomputerSystem(cfg, policy), batch
+
+
+@given(batch_configs())
+@settings(max_examples=40, deadline=None)
+def test_property_all_jobs_complete_chronologically(config):
+    num_nodes, policy_kind, p, jobs = config
+    system, batch = build(num_nodes, policy_kind, p, jobs)
+    result = system.run_batch(batch)
+    assert len(result.jobs) == len(jobs)
+    for job in result.jobs:
+        assert job.state is JobState.COMPLETED
+        assert (job.submitted_at <= job.dispatched_at <= job.started_at
+                <= job.completed_at)
+
+
+@given(batch_configs())
+@settings(max_examples=30, deadline=None)
+def test_property_work_conservation_end_to_end(config):
+    """Sum of low-priority CPU time across nodes equals the analytic
+    demand of the batch (+0 — the synthetic app has no extra phases)."""
+    num_nodes, policy_kind, p, jobs = config
+    system, batch = build(num_nodes, policy_kind, p, jobs)
+    system.run_batch(batch)
+    measured = sum(n.cpu.stats.low_time for n in system.nodes.values())
+    expected = sum(jobs) / 1e6
+    assert measured == pytest.approx(expected, rel=1e-6)
+
+
+@given(batch_configs())
+@settings(max_examples=25, deadline=None)
+def test_property_determinism(config):
+    num_nodes, policy_kind, p, jobs = config
+    s1, b1 = build(num_nodes, policy_kind, p, jobs)
+    s2, b2 = build(num_nodes, policy_kind, p, jobs)
+    r1 = s1.run_batch(b1)
+    r2 = s2.run_batch(b2)
+    assert r1.response_times == r2.response_times
+    assert r1.makespan == r2.makespan
+
+
+@given(batch_configs())
+@settings(max_examples=25, deadline=None)
+def test_property_static_exclusivity(config):
+    """Under static space-sharing, jobs sharing a partition never
+    overlap in time."""
+    num_nodes, _, p, jobs = config
+    system, batch = build(num_nodes, "static", p, jobs)
+    result = system.run_batch(batch)
+    by_partition = {}
+    for job in result.jobs:
+        by_partition.setdefault(job.partition.partition_id, []).append(job)
+    for members in by_partition.values():
+        members.sort(key=lambda j: j.started_at)
+        for a, b in zip(members, members[1:]):
+            assert a.completed_at <= b.started_at + 1e-12
+
+
+@given(batch_configs())
+@settings(max_examples=25, deadline=None)
+def test_property_timeshared_all_start_at_zero(config):
+    """Time-shared policies admit every batch job immediately."""
+    num_nodes, _, p, jobs = config
+    system, batch = build(num_nodes, "hybrid", p, jobs)
+    result = system.run_batch(batch)
+    assert all(j.wait_time == 0 for j in result.jobs)
+    # Equitable distribution: partition loads differ by at most one.
+    loads = {}
+    for job in result.jobs:
+        loads[job.partition.partition_id] = (
+            loads.get(job.partition.partition_id, 0) + 1
+        )
+    if len(loads) > 1:
+        assert max(loads.values()) - min(loads.values()) <= 1

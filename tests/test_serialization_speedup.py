@@ -1,0 +1,228 @@
+"""Tests for serialisation, speedup curves, butterfly, and hotspot stats."""
+
+import pytest
+
+from repro.core import (
+    MulticomputerSystem,
+    StaticSpaceSharing,
+    SystemConfig,
+    TimeSharing,
+)
+from repro.experiments import (
+    config_from_dict,
+    config_to_dict,
+    crossover_partition_size,
+    load_results,
+    result_to_dict,
+    save_results,
+    speedup_curve,
+)
+from repro.transputer import TransputerConfig
+from repro.workload import (
+    BatchWorkload,
+    ButterflyApplication,
+    JobSpec,
+    MatMulApplication,
+    standard_batch,
+)
+
+from tests.conftest import ideal_transputer
+
+
+# ------------------------------------------------------------ serialization
+def test_config_roundtrip():
+    config = SystemConfig(
+        num_nodes=8, topology="ring", switching="wormhole",
+        placement="staggered",
+        transputer=TransputerConfig(cpu_ops_per_second=2e5, quantum=0.004),
+    )
+    data = config_to_dict(config)
+    back = config_from_dict(data)
+    assert back == config
+    assert back.transputer.quantum == 0.004
+
+
+def test_config_dict_is_json_safe():
+    import json
+
+    text = json.dumps(config_to_dict(SystemConfig()))
+    assert "transputer" in text
+
+
+def test_config_from_dict_rejects_unknown_fields():
+    data = config_to_dict(SystemConfig())
+    data["warp_drive"] = True
+    with pytest.raises(ValueError, match="unknown SystemConfig"):
+        config_from_dict(data)
+    data = config_to_dict(SystemConfig())
+    data["transputer"]["flux"] = 1
+    with pytest.raises(ValueError, match="unknown TransputerConfig"):
+        config_from_dict(data)
+
+
+def test_config_to_dict_type_check():
+    with pytest.raises(TypeError):
+        config_to_dict(TransputerConfig())
+
+
+def run_small():
+    cfg = SystemConfig(num_nodes=4, topology="linear",
+                       transputer=ideal_transputer())
+    batch = standard_batch("matmul", num_small=2, num_large=1,
+                           small_size=16, large_size=32)
+    return cfg, MulticomputerSystem(cfg, StaticSpaceSharing(2)).run_batch(batch)
+
+
+def test_result_to_dict_contents():
+    _, result = run_small()
+    data = result_to_dict(result)
+    assert data["mean_response_time"] == pytest.approx(
+        result.mean_response_time
+    )
+    assert len(data["jobs"]) == 3
+    assert data["jobs"][0]["response_time"] > 0
+    assert data["system"]["messages"] >= 0
+    assert set(data["mean_response_by_class"]) == {"small", "large"}
+
+
+def test_save_and_load_results_roundtrip(tmp_path):
+    cfg, result = run_small()
+    path = tmp_path / "bundle.json"
+    save_results(path, cfg, StaticSpaceSharing(2), [result])
+    config, policy_repr, results = load_results(path)
+    assert config == cfg
+    assert "StaticSpaceSharing" in policy_repr
+    assert results[0]["mean_response_time"] == pytest.approx(
+        result.mean_response_time
+    )
+
+
+def test_load_results_rejects_other_json(tmp_path):
+    path = tmp_path / "x.json"
+    path.write_text('{"hello": 1}')
+    with pytest.raises(ValueError, match="not a repro results bundle"):
+        load_results(path)
+
+
+def test_reloaded_config_reproduces_run(tmp_path):
+    cfg, result = run_small()
+    path = tmp_path / "bundle.json"
+    save_results(path, cfg, StaticSpaceSharing(2), [result])
+    config, _, _ = load_results(path)
+    batch = standard_batch("matmul", num_small=2, num_large=1,
+                           small_size=16, large_size=32)
+    again = MulticomputerSystem(config, StaticSpaceSharing(2)).run_batch(batch)
+    assert again.mean_response_time == pytest.approx(
+        result.mean_response_time
+    )
+
+
+# ----------------------------------------------------------------- speedup
+def test_speedup_curve_shape():
+    rows, columns = speedup_curve(
+        lambda p: MatMulApplication(64, architecture="adaptive"),
+        partition_sizes=(1, 2, 4),
+        topology="linear",
+        transputer=ideal_transputer(),
+    )
+    assert columns == ["p", "makespan", "speedup", "efficiency"]
+    by_p = {r["p"]: r for r in rows}
+    assert by_p[1]["speedup"] == pytest.approx(1.0)
+    # Ideal communication: nearly linear speedup.
+    assert by_p[4]["speedup"] == pytest.approx(4.0, rel=0.1)
+    assert by_p[4]["efficiency"] > 0.9
+
+
+def test_speedup_curve_with_real_costs_shows_diminishing_returns():
+    rows, _ = speedup_curve(
+        lambda p: MatMulApplication(64, architecture="adaptive"),
+        partition_sizes=(1, 2, 4, 8),
+        topology="linear",
+    )
+    effs = [r["efficiency"] for r in rows]
+    # Efficiency is non-increasing once communication costs bite.
+    assert effs[-1] < effs[0]
+
+
+def test_speedup_curve_skips_16_hypercube():
+    rows, _ = speedup_curve(
+        lambda p: MatMulApplication(32, architecture="adaptive"),
+        partition_sizes=(8, 16),
+        topology="hypercube",
+        transputer=ideal_transputer(),
+    )
+    assert [r["p"] for r in rows] == [8]
+
+
+def test_crossover_partition_size():
+    rows = [{"p": 1, "efficiency": 1.0}, {"p": 2, "efficiency": 0.8},
+            {"p": 4, "efficiency": 0.55}, {"p": 8, "efficiency": 0.3}]
+    assert crossover_partition_size(rows) == 4
+    assert crossover_partition_size(rows, threshold=0.8) == 2
+    assert crossover_partition_size(rows, threshold=1.1) is None
+
+
+# --------------------------------------------------------------- butterfly
+def test_butterfly_validation():
+    with pytest.raises(ValueError):
+        ButterflyApplication(0)
+    with pytest.raises(ValueError):
+        ButterflyApplication(64, fixed_processes=6)
+    with pytest.raises(ValueError):
+        ButterflyApplication(64, ops_per_element_round=0)
+    app = ButterflyApplication(64, architecture="adaptive")
+    with pytest.raises(ValueError):
+        app.num_processes(3)
+
+
+def test_butterfly_runs_and_exchanges():
+    cfg = SystemConfig(num_nodes=4, topology="hypercube",
+                       transputer=ideal_transputer())
+    app = ButterflyApplication(1024, architecture="adaptive")
+    result = MulticomputerSystem(cfg, StaticSpaceSharing(4)).run_batch(
+        BatchWorkload([JobSpec(app, "solo")])
+    )
+    # log2(4) = 2 rounds x 4 processes = 8 exchange messages.
+    assert result.snapshot.messages == 8
+    ideal = app.total_ops(4) / 1e6 / 4
+    assert result.makespan >= ideal * 0.999
+
+
+def test_butterfly_single_process_no_messages():
+    cfg = SystemConfig(num_nodes=1, topology="linear",
+                       transputer=ideal_transputer())
+    app = ButterflyApplication(1024, architecture="adaptive")
+    result = MulticomputerSystem(cfg, StaticSpaceSharing(1)).run_batch(
+        BatchWorkload([JobSpec(app, "solo")])
+    )
+    assert result.snapshot.messages == 0
+
+
+def test_butterfly_prefers_hypercube_over_linear():
+    """All exchanges are nearest-neighbour on the hypercube; the late
+    rounds span half the machine on a linear array."""
+    app = ButterflyApplication(16_384, architecture="adaptive")
+
+    def time_on(topology):
+        cfg = SystemConfig(num_nodes=8, topology=topology)
+        return MulticomputerSystem(cfg, StaticSpaceSharing(8)).run_batch(
+            BatchWorkload([JobSpec(app, "solo")])
+        ).makespan
+
+    assert time_on("hypercube") < time_on("linear")
+
+
+# ------------------------------------------------------------ hotspot stats
+def test_network_hotspot_tracking():
+    cfg = SystemConfig(num_nodes=8, topology="linear")
+    batch = standard_batch("matmul", architecture="fixed", num_small=2,
+                           num_large=1, small_size=24, large_size=48)
+    system = MulticomputerSystem(cfg, TimeSharing())
+    system.run_batch(batch)
+    stats = system.partitions[0].network.stats
+    assert stats.node_packets
+    hotspot = stats.hotspot()
+    assert hotspot is not None
+    node, packets = hotspot
+    assert packets == max(stats.node_packets.values())
+    assert sum(stats.node_packets.values()) == stats.packet_hops

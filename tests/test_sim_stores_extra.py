@@ -1,0 +1,150 @@
+"""Additional coverage for stores/containers: cancellation, bounds."""
+
+import pytest
+
+from repro.sim import Container, Environment, FilterStore, Store
+
+
+def test_store_cancel_pending_get():
+    env = Environment()
+    s = Store(env)
+    log = []
+
+    def impatient(env):
+        get = s.get()
+        result = yield get | env.timeout(1)
+        if get not in result:
+            s.cancel(get)
+            log.append("gave-up")
+
+    def late_producer(env):
+        yield env.timeout(2)
+        yield s.put("item")
+
+    env.process(impatient(env))
+    env.process(late_producer(env))
+    env.run()
+    assert log == ["gave-up"]
+    assert list(s.items) == ["item"]  # nobody consumed it
+
+
+def test_store_cancel_pending_put():
+    env = Environment()
+    s = Store(env, capacity=1)
+    log = []
+
+    def producer(env):
+        yield s.put("a")
+        put = s.put("b")
+        result = yield put | env.timeout(1)
+        if put not in result:
+            s.cancel(put)
+            log.append("withdrew")
+
+    env.process(producer(env))
+    env.run()
+    assert log == ["withdrew"]
+    assert list(s.items) == ["a"]
+
+
+def test_container_cancel_pending_get():
+    env = Environment()
+    c = Container(env, capacity=10, init=0)
+
+    def impatient(env):
+        get = c.get(5)
+        result = yield get | env.timeout(1)
+        if get not in result:
+            c.cancel(get)
+
+    def feeder(env):
+        yield env.timeout(2)
+        yield c.put(5)
+
+    env.process(impatient(env))
+    env.process(feeder(env))
+    env.run()
+    assert c.level == 5  # the cancelled get never took it
+
+
+def test_container_cancel_pending_put():
+    env = Environment()
+    c = Container(env, capacity=5, init=5)
+
+    def producer(env):
+        put = c.put(3)
+        result = yield put | env.timeout(1)
+        if put not in result:
+            c.cancel(put)
+
+    env.process(producer(env))
+    env.run()
+    assert c.level == 5
+
+
+def test_filter_store_cancel_releases_waiter():
+    env = Environment()
+    s = FilterStore(env)
+
+    def never(env):
+        get = s.get(lambda x: x == "unicorn")
+        result = yield get | env.timeout(1)
+        if get not in result:
+            s.cancel(get)
+
+    def normal(env):
+        yield env.timeout(2)
+        yield s.put("unicorn")
+
+    env.process(never(env))
+    env.process(normal(env))
+    env.run()
+    assert list(s.items) == ["unicorn"]
+
+
+def test_store_capacity_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Store(env, capacity=0)
+    with pytest.raises(ValueError):
+        Container(env, capacity=0)
+
+
+def test_store_len_tracks_items():
+    env = Environment()
+    s = Store(env)
+
+    def proc(env):
+        yield s.put(1)
+        yield s.put(2)
+        assert len(s) == 2
+        yield s.get()
+        assert len(s) == 1
+
+    env.process(proc(env))
+    env.run()
+
+
+def test_interleaved_puts_gets_stress():
+    env = Environment()
+    s = Store(env, capacity=3)
+    consumed = []
+
+    def producer(env, start):
+        for i in range(start, start + 20):
+            yield s.put(i)
+            yield env.timeout(0.01)
+
+    def consumer(env):
+        for _ in range(40):
+            item = yield s.get()
+            consumed.append(item)
+            yield env.timeout(0.015)
+
+    env.process(producer(env, 0))
+    env.process(producer(env, 100))
+    env.process(consumer(env))
+    env.run()
+    assert len(consumed) == 40
+    assert sorted(consumed) == sorted(list(range(20)) +
+                                      list(range(100, 120)))

@@ -1,0 +1,288 @@
+"""Unit and property tests for graphs, topologies, and routing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import (
+    DimensionOrderRouter,
+    EcubeRouter,
+    Graph,
+    RoutingTable,
+    Topology,
+    build_router,
+    hypercube,
+    linear_array,
+    make_topology,
+    mesh,
+    mesh_dims,
+    nap_pipelines,
+    ring,
+)
+
+
+# ------------------------------------------------------------------ Graph
+def test_graph_basic_construction():
+    g = Graph(nodes=[1, 2, 3], edges=[(1, 2), (2, 3)])
+    assert g.nodes == [1, 2, 3]
+    assert g.edges == [(1, 2), (2, 3)]
+    assert g.degree(2) == 2
+    assert g.has_edge(2, 1)
+    assert not g.has_edge(1, 3)
+
+
+def test_graph_rejects_self_loop():
+    g = Graph()
+    with pytest.raises(ValueError):
+        g.add_edge(1, 1)
+
+
+def test_graph_neighbors_sorted():
+    g = Graph(edges=[(5, 1), (5, 9), (5, 3)])
+    assert g.neighbors(5) == [1, 3, 9]
+
+
+def test_shortest_path_and_distances():
+    g = Graph(edges=[(0, 1), (1, 2), (2, 3), (0, 3)])
+    assert g.bfs_distances(0) == {0: 0, 1: 1, 3: 1, 2: 2}
+    path = g.shortest_path(0, 2)
+    assert path[0] == 0 and path[-1] == 2 and len(path) == 3
+
+
+def test_shortest_path_disconnected_raises():
+    g = Graph(nodes=[0, 1])
+    with pytest.raises(ValueError):
+        g.shortest_path(0, 1)
+
+
+def test_connectivity_and_diameter():
+    g = Graph(edges=[(0, 1), (1, 2)])
+    assert g.is_connected()
+    assert g.diameter() == 2
+    g2 = Graph(nodes=[0, 1])
+    assert not g2.is_connected()
+    with pytest.raises(ValueError):
+        g2.diameter()
+
+
+def test_subgraph_induced():
+    g = Graph(edges=[(0, 1), (1, 2), (2, 0)])
+    sub = g.subgraph([0, 1])
+    assert sub.edges == [(0, 1)]
+    assert len(sub) == 2
+
+
+# ------------------------------------------------------------- topologies
+@pytest.mark.parametrize("n", [1, 2, 4, 8, 16])
+def test_linear_array_structure(n):
+    t = linear_array(range(n))
+    assert t.size == n
+    assert len(t.graph.edges) == n - 1
+    if n > 1:
+        assert t.diameter == n - 1
+    assert t.graph.max_degree() <= 2
+    assert t.code == "L"
+    assert t.label == f"{n}L"
+
+
+@pytest.mark.parametrize("n", [2, 4, 8, 16])
+def test_ring_structure(n):
+    t = ring(range(n))
+    expected_edges = n if n > 2 else n - 1
+    assert len(t.graph.edges) == expected_edges
+    if n > 2:
+        assert t.diameter == n // 2
+        assert all(t.graph.degree(v) == 2 for v in t.graph.nodes)
+
+
+@pytest.mark.parametrize("n,dims", [(1, (1, 1)), (2, (1, 2)), (4, (2, 2)),
+                                    (8, (2, 4)), (16, (4, 4))])
+def test_mesh_dims_near_square(n, dims):
+    assert mesh_dims(n) == dims
+
+
+@pytest.mark.parametrize("n", [4, 8, 16])
+def test_mesh_structure(n):
+    t = mesh(range(n))
+    rows, cols = t.dims
+    assert rows * cols == n
+    assert len(t.graph.edges) == rows * (cols - 1) + cols * (rows - 1)
+    assert t.diameter == (rows - 1) + (cols - 1)
+
+
+@pytest.mark.parametrize("n", [1, 2, 4, 8])
+def test_hypercube_structure(n):
+    t = hypercube(range(n))
+    dim = n.bit_length() - 1
+    assert len(t.graph.edges) == n * dim // 2
+    if n > 1:
+        assert t.diameter == dim
+        assert all(t.graph.degree(v) == dim for v in t.graph.nodes)
+
+
+def test_hypercube_16_rejected_like_the_real_machine():
+    with pytest.raises(ValueError, match="host"):
+        hypercube(range(16))
+    t = hypercube(range(16), allow_full=True)
+    assert t.diameter == 4
+
+
+def test_hypercube_non_power_of_two_rejected():
+    with pytest.raises(ValueError):
+        hypercube(range(3))
+
+
+def test_topologies_use_given_node_ids():
+    t = ring([8, 9, 10, 11])
+    assert t.nodes == (8, 9, 10, 11)
+    assert t.graph.has_edge(11, 8)
+
+
+def test_nap_pipelines_wiring():
+    g = nap_pipelines(16, 4)
+    # Four pipelines of four: edges within naps only.
+    assert len(g.edges) == 12
+    assert g.has_edge(0, 1) and g.has_edge(2, 3)
+    assert not g.has_edge(3, 4)  # nap boundary
+    assert not g.is_connected()
+
+
+def test_make_topology_by_name_and_code():
+    assert make_topology("L", range(4)).name == "linear"
+    assert make_topology("ring", range(4)).name == "ring"
+    assert make_topology("M", range(4)).name == "mesh"
+    assert make_topology("H", range(4)).name == "hypercube"
+    with pytest.raises(ValueError, match="unknown topology"):
+        make_topology("torus", range(4))
+
+
+# ---------------------------------------------------------------- routing
+def _all_topologies(n):
+    tops = [linear_array(range(n)), ring(range(n)), mesh(range(n))]
+    if n & (n - 1) == 0 and n <= 8:
+        tops.append(hypercube(range(n)))
+    return tops
+
+
+@pytest.mark.parametrize("n", [2, 4, 8])
+def test_routing_reaches_destination_all_pairs(n):
+    for topo in _all_topologies(n):
+        router = build_router(topo)
+        for src in topo.nodes:
+            for dst in topo.nodes:
+                if src == dst:
+                    continue
+                path = router.path(src, dst)
+                assert path[0] == src and path[-1] == dst
+                for a, b in zip(path, path[1:]):
+                    assert topo.graph.has_edge(a, b)
+
+
+@pytest.mark.parametrize("n", [2, 4, 8])
+def test_routing_is_shortest_path(n):
+    for topo in _all_topologies(n):
+        router = build_router(topo)
+        for src in topo.nodes:
+            dist = topo.graph.bfs_distances(src)
+            for dst in topo.nodes:
+                if src != dst:
+                    assert router.hops(src, dst) == dist[dst]
+
+
+def test_bfs_routing_strategy_forced():
+    topo = mesh(range(8))
+    router = build_router(topo, strategy="bfs")
+    assert isinstance(router, RoutingTable)
+    assert router.hops(0, 7) == topo.graph.bfs_distances(0)[7]
+
+
+def test_auto_picks_structured_routers():
+    assert isinstance(build_router(mesh(range(8))), DimensionOrderRouter)
+    assert isinstance(build_router(hypercube(range(8))), EcubeRouter)
+    assert isinstance(build_router(ring(range(8))), RoutingTable)
+
+
+def test_dimension_order_router_goes_x_first():
+    topo = mesh(range(16))  # 4x4, row-major
+    router = DimensionOrderRouter(topo)
+    # 0 at (0,0), 15 at (3,3): X (column) corrected first.
+    path = router.path(0, 15)
+    assert path == [0, 1, 2, 3, 7, 11, 15]
+
+
+def test_ecube_router_lowest_dimension_first():
+    topo = hypercube(range(8))
+    router = EcubeRouter(topo)
+    assert router.path(0, 7) == [0, 1, 3, 7]
+
+
+def test_next_hop_same_node_rejected():
+    topo = ring(range(4))
+    router = build_router(topo)
+    with pytest.raises(ValueError):
+        router.next_hop(0, 0)
+
+
+def test_routing_table_requires_connected_graph():
+    g = Graph(nodes=[0, 1])
+    with pytest.raises(ValueError, match="connected"):
+        RoutingTable(g)
+
+
+def test_routing_deterministic_across_builds():
+    topo = ring(range(8))
+    r1, r2 = RoutingTable(topo.graph), RoutingTable(topo.graph)
+    for src in topo.nodes:
+        for dst in topo.nodes:
+            if src != dst:
+                assert r1.path(src, dst) == r2.path(src, dst)
+
+
+# -------------------------------------------------------------- property
+@st.composite
+def connected_graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=12))
+    g = Graph(nodes=range(n))
+    # Random spanning tree guarantees connectivity.
+    for v in range(1, n):
+        u = draw(st.integers(min_value=0, max_value=v - 1))
+        g.add_edge(u, v)
+    extra = draw(st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+        max_size=10,
+    ))
+    for u, v in extra:
+        if u != v:
+            g.add_edge(u, v)
+    return g
+
+
+@given(connected_graphs())
+@settings(max_examples=60, deadline=None)
+def test_property_bfs_routes_are_shortest(g):
+    router = RoutingTable(g)
+    for src in g.nodes:
+        dist = g.bfs_distances(src)
+        for dst in g.nodes:
+            if src != dst:
+                path = router.path(src, dst)
+                assert len(path) - 1 == dist[dst]
+                assert all(g.has_edge(a, b) for a, b in zip(path, path[1:]))
+
+
+@given(connected_graphs())
+@settings(max_examples=40, deadline=None)
+def test_property_diameter_bounds_routes(g):
+    router = RoutingTable(g)
+    d = g.diameter()
+    for src in g.nodes:
+        for dst in g.nodes:
+            if src != dst:
+                assert router.hops(src, dst) <= d
+
+
+@given(st.integers(min_value=1, max_value=64))
+def test_property_mesh_dims_cover(n):
+    r, c = mesh_dims(n)
+    assert r * c == n
+    assert r <= c

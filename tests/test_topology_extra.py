@@ -1,0 +1,126 @@
+"""Tests for the extension topologies and property analysis."""
+
+import pytest
+
+from repro.topology import (
+    RoutingTable,
+    average_distance,
+    binary_tree,
+    bisection_width,
+    compare_topologies,
+    degree_histogram,
+    fully_connected,
+    hypercube,
+    linear_array,
+    link_count,
+    mesh,
+    ring,
+    star,
+    torus,
+)
+
+
+def test_torus_structure():
+    t = torus(range(16))
+    # 4x4 torus: every node degree 4, diameter 4.
+    assert all(t.graph.degree(v) == 4 for v in t.graph.nodes)
+    assert t.graph.diameter() == 4
+    assert link_count(t.graph) == 32
+
+
+def test_torus_degenerate_sizes():
+    assert link_count(torus(range(2)).graph) == 1
+    t = torus(range(4), dims=(1, 4))
+    assert t.graph.has_edge(0, 3)  # wraparound
+    with pytest.raises(ValueError):
+        torus(range(4), dims=(3, 2))
+    with pytest.raises(ValueError):
+        torus([])
+
+
+def test_star_structure():
+    t = star(range(9))
+    assert t.graph.degree(0) == 8
+    assert all(t.graph.degree(v) == 1 for v in range(1, 9))
+    assert t.graph.diameter() == 2
+
+
+def test_binary_tree_structure():
+    t = binary_tree(range(7))
+    assert t.graph.degree(0) == 2
+    assert t.graph.has_edge(1, 3) and t.graph.has_edge(2, 6)
+    assert t.graph.diameter() == 4
+    assert link_count(t.graph) == 6
+
+
+def test_fully_connected_structure():
+    t = fully_connected(range(6))
+    assert link_count(t.graph) == 15
+    assert t.graph.diameter() == 1
+    assert average_distance(t.graph) == 1.0
+
+
+def test_average_distance_known_values():
+    # Linear array of 4: distances 1+2+3+1+1+2 (per direction) -> 10/6.
+    assert average_distance(linear_array(range(4)).graph) == pytest.approx(
+        10 / 6
+    )
+    assert average_distance(ring(range(4)).graph) == pytest.approx(4 / 3)
+    assert average_distance(fully_connected(range(3)).graph) == 1.0
+    assert average_distance(linear_array([0]).graph) == 0.0
+
+
+def test_bisection_width_textbook_values():
+    assert bisection_width(linear_array(range(16))) == 1
+    assert bisection_width(ring(range(16))) == 2
+    assert bisection_width(hypercube(range(8))) == 4
+    assert bisection_width(mesh(range(16))) == 4
+
+
+def test_degree_histogram():
+    hist = degree_histogram(star(range(5)).graph)
+    assert hist == {1: 4, 4: 1}
+
+
+def test_compare_topologies_table():
+    rows = compare_topologies([
+        linear_array(range(8)), ring(range(8)), mesh(range(8)),
+        hypercube(range(8)),
+    ])
+    by_label = {r["label"]: r for r in rows}
+    # The hypercube dominates: most links, smallest diameter.
+    assert by_label["8H"]["diameter"] < by_label["8L"]["diameter"]
+    assert by_label["8H"]["links"] > by_label["8L"]["links"]
+    assert by_label["8L"]["avg_distance"] > by_label["8H"]["avg_distance"]
+
+
+def test_extension_topologies_are_routable():
+    for topo in (torus(range(8)), star(range(8)), binary_tree(range(8)),
+                 fully_connected(range(8))):
+        router = RoutingTable(topo.graph)
+        for src in topo.nodes:
+            for dst in topo.nodes:
+                if src != dst:
+                    path = router.path(src, dst)
+                    assert path[0] == src and path[-1] == dst
+
+
+def test_extension_topologies_reject_empty():
+    for fn in (star, binary_tree, fully_connected):
+        with pytest.raises(ValueError):
+            fn([])
+
+
+def test_extension_topologies_usable_in_network():
+    """A torus partition network delivers messages end to end."""
+    from repro.comm import Network
+    from repro.sim import Environment
+    from repro.transputer import TransputerConfig, TransputerNode
+
+    env = Environment()
+    cfg = TransputerConfig(context_switch_overhead=0.0)
+    nodes = {i: TransputerNode(env, i, cfg) for i in range(9)}
+    net = Network(env, nodes, torus(range(9)), cfg)
+    done = net.send(0, 8, 5000, tag="t")
+    msg = env.run(until=done)
+    assert msg.hops == 2  # 3x3 torus diameter

@@ -1,0 +1,68 @@
+"""Tests for the ASCII visualisation helpers."""
+
+import pytest
+
+from repro.core import MulticomputerSystem, StaticSpaceSharing, SystemConfig
+from repro.trace import render_bars, render_gantt, render_series
+from repro.workload import standard_batch
+
+from tests.conftest import ideal_transputer
+
+
+def completed_jobs():
+    cfg = SystemConfig(num_nodes=4, topology="linear",
+                       transputer=ideal_transputer())
+    system = MulticomputerSystem(cfg, StaticSpaceSharing(2))
+    batch = standard_batch("matmul", num_small=3, num_large=1,
+                           small_size=16, large_size=32)
+    return system.run_batch(batch).jobs
+
+
+def test_gantt_renders_all_jobs():
+    jobs = completed_jobs()
+    chart = render_gantt(jobs, width=40)
+    for job in jobs:
+        assert job.name[:8] in chart
+    assert "#" in chart
+    assert "legend" in chart
+
+
+def test_gantt_wait_marks_for_queued_jobs():
+    jobs = completed_jobs()
+    chart = render_gantt(jobs, width=60)
+    assert "." in chart  # someone waited under static space-sharing
+
+
+def test_gantt_rejects_incomplete_jobs():
+    from repro.core.job import Job
+    from repro.workload import MatMulApplication
+
+    job = Job(MatMulApplication(8))
+    with pytest.raises(ValueError):
+        render_gantt([job])
+
+
+def test_gantt_empty():
+    assert "no jobs" in render_gantt([])
+
+
+def test_render_bars_scaling():
+    text = render_bars({"a": 2.0, "b": 1.0}, width=10)
+    lines = text.splitlines()
+    assert lines[0].count("█") == 10
+    assert lines[1].count("█") == 5
+    assert "2.000" in lines[0]
+
+
+def test_render_bars_empty():
+    assert "no data" in render_bars({})
+
+
+def test_render_series_groups():
+    text = render_series({
+        "static": {"4L": 1.0, "8L": 2.0},
+        "timesharing": {"4L": 1.5, "8L": 2.5},
+    })
+    assert "4L" in text and "8L" in text
+    assert "static" in text and "timesharing" in text
+    assert text.count("█") > 0

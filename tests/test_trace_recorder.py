@@ -1,0 +1,78 @@
+"""Tests for the structured trace recorder."""
+
+import pytest
+
+from repro.core import MulticomputerSystem, StaticSpaceSharing, SystemConfig
+from repro.trace import TraceEvent, TraceRecorder
+from repro.workload import standard_batch
+
+from tests.conftest import ideal_transputer
+
+
+def traced_run():
+    cfg = SystemConfig(num_nodes=4, topology="linear",
+                       transputer=ideal_transputer(), trace=True)
+    system = MulticomputerSystem(cfg, StaticSpaceSharing(2))
+    batch = standard_batch("matmul", num_small=3, num_large=1,
+                           small_size=16, large_size=32)
+    result = system.run_batch(batch)
+    return system, result
+
+
+def test_recorder_basic_record_and_query():
+    rec = TraceRecorder()
+    rec.record(1.0, "x", "a", k=1)
+    rec.record(2.0, "y", "a")
+    rec.record(3.0, "x", "b")
+    assert len(rec) == 3
+    assert [e.subject for e in rec.by_category("x")] == ["a", "b"]
+    assert [e.category for e in rec.by_subject("a")] == ["x", "y"]
+    assert [e.time for e in rec.between(1.5, 3.0)] == [2.0, 3.0]
+    assert rec.categories() == {"x": 2, "y": 1}
+
+
+def test_recorder_capacity_bound():
+    rec = TraceRecorder(capacity=2)
+    for i in range(5):
+        rec.record(i, "c", "s")
+    assert len(rec) == 2
+    assert rec.dropped == 3
+
+
+def test_trace_event_rendering():
+    e = TraceEvent(1.25, "job.started", "job1", {"size": "small"})
+    s = str(e)
+    assert "job.started" in s and "job1" in s and "size=small" in s
+
+
+def test_system_trace_captures_job_lifecycle():
+    system, result = traced_run()
+    rec = system.trace_recorder
+    assert rec is not None
+    cats = rec.categories()
+    n = len(result.jobs)
+    assert cats["job.submitted"] == n
+    assert cats["job.dispatched"] == n
+    assert cats["job.started"] == n
+    assert cats["job.completed"] == n
+    # Transitions of each job are chronological.
+    for job in result.jobs:
+        times = [e.time for e in rec.by_subject(job.name)]
+        assert times == sorted(times)
+        assert len(times) == 4
+
+
+def test_trace_text_rendering_and_limit():
+    system, _ = traced_run()
+    text = system.trace_recorder.to_text(limit=5)
+    assert "job.submitted" in text
+    assert "more)" in text
+
+
+def test_trace_disabled_by_default():
+    cfg = SystemConfig(num_nodes=4, topology="linear",
+                       transputer=ideal_transputer())
+    system = MulticomputerSystem(cfg, StaticSpaceSharing(2))
+    system.run_batch(standard_batch("matmul", num_small=2, num_large=0,
+                                    small_size=16))
+    assert system.trace_recorder is None

@@ -1,0 +1,80 @@
+"""Tests for the per-node utilisation timeline."""
+
+import pytest
+
+from repro.core import MulticomputerSystem, StaticSpaceSharing, SystemConfig
+from repro.trace import render_utilization, utilization_probes
+from repro.trace.timeline import _interp
+from repro.workload import standard_batch
+
+from tests.conftest import ideal_transputer
+
+
+def run_with_probes(num_nodes=4, partition=2):
+    cfg = SystemConfig(num_nodes=num_nodes, topology="linear",
+                       transputer=ideal_transputer())
+    system = MulticomputerSystem(cfg, StaticSpaceSharing(partition))
+    batch = standard_batch("matmul", num_small=3, num_large=1,
+                           small_size=24, large_size=48)
+    probes = {}
+    result = system.run_batch(
+        batch,
+        instrument=lambda s: probes.update(
+            utilization_probes(s, interval=0.001)
+        ),
+    )
+    return probes, result
+
+
+def test_probes_attached_per_node():
+    probes, result = run_with_probes()
+    assert set(probes) == {0, 1, 2, 3}
+    for sampler in probes.values():
+        assert len(sampler.samples) > 2
+        # Cumulative busy time is non-decreasing.
+        values = sampler.values
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+
+def test_render_utilization_shape():
+    probes, result = run_with_probes()
+    text = render_utilization(probes, result.makespan, width=40)
+    lines = text.strip().splitlines()
+    assert len(lines) == 4 + 2  # nodes + header + legend
+    assert "legend" in lines[-1]
+    assert "#" in text  # something was busy
+
+
+def test_render_utilization_idle_nodes_visible():
+    """With one 2-node partition busy and the rest idle after their
+    jobs, idle glyphs must appear."""
+    probes, result = run_with_probes(num_nodes=4, partition=4)
+    text = render_utilization(probes, result.makespan, width=40)
+    assert " " in text or "." in text
+
+
+def test_render_utilization_empty():
+    assert "no probes" in render_utilization({}, 1.0)
+
+
+def test_interp_boundaries():
+    samples = [(0.0, 0.0), (1.0, 1.0), (2.0, 1.0)]
+    assert _interp(samples, -1) == 0.0
+    assert _interp(samples, 0.5) == pytest.approx(0.5)
+    assert _interp(samples, 1.5) == pytest.approx(1.0)
+    assert _interp(samples, 99) == 1.0
+
+
+def test_instrument_hook_called_before_submission():
+    seen = {}
+
+    def instrument(system):
+        seen["now"] = system.env.now
+        seen["jobs"] = len(system.super_scheduler.jobs)
+
+    cfg = SystemConfig(num_nodes=2, topology="linear",
+                       transputer=ideal_transputer())
+    system = MulticomputerSystem(cfg, StaticSpaceSharing(2))
+    system.run_batch(standard_batch("matmul", num_small=2, num_large=0,
+                                    small_size=16), instrument=instrument)
+    assert seen == {"now": 0.0, "jobs": 0}

@@ -1,0 +1,38 @@
+"""Tests for the validation report and the extended CLI surfaces."""
+
+import pytest
+
+from repro.experiments.cli import main as cli_main
+from repro.experiments.validation import all_checks_pass, validation_report
+
+
+def test_validation_report_all_pass():
+    rows, columns = validation_report()
+    assert columns[0] == "check"
+    assert len(rows) == 5
+    assert all_checks_pass(rows), \
+        [r for r in rows if r["ok"] != "yes"]
+    for row in rows:
+        assert 0 <= row["rel_error"] <= row["tolerance"]
+
+
+def test_all_checks_pass_helper():
+    assert all_checks_pass([{"ok": "yes"}, {"ok": "yes"}])
+    assert not all_checks_pass([{"ok": "yes"}, {"ok": "NO"}])
+
+
+def test_cli_validate(capsys):
+    assert cli_main(["--validate"]) == 0
+    out = capsys.readouterr().out
+    assert "all checks passed" in out
+
+
+def test_cli_topologies(capsys):
+    assert cli_main(["--topologies"]) == 0
+    out = capsys.readouterr().out
+    assert "16L" in out and "bisection" in out
+
+
+def test_cli_still_requires_some_action():
+    with pytest.raises(SystemExit):
+        cli_main([])

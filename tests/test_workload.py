@@ -1,0 +1,276 @@
+"""Tests for the workload package: cost models, apps, batches."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MulticomputerSystem, StaticSpaceSharing, SystemConfig
+from repro.workload import (
+    ADAPTIVE,
+    FIXED,
+    BatchWorkload,
+    CostModel,
+    JobSpec,
+    MatMulApplication,
+    SoftwareArchitectureError,
+    SortApplication,
+    SyntheticForkJoin,
+    standard_batch,
+)
+from repro.workload.costs import ELEMENT_BYTES
+from repro.workload.synthetic import lognormal_demands
+
+from tests.conftest import ideal_transputer
+
+
+# -------------------------------------------------------------- cost model
+def test_matmul_ops_are_cubic():
+    cm = CostModel()
+    assert cm.matmul_total_ops(100) == 2 * 100 ** 3
+    # Worker shares sum to the total.
+    rows = cm.split_rows(100, 7)
+    assert sum(rows) == 100
+    assert sum(cm.matmul_worker_ops(100, r) for r in rows) == pytest.approx(
+        cm.matmul_total_ops(100)
+    )
+
+
+def test_split_rows_balanced():
+    rows = CostModel.split_rows(110, 16)
+    assert sum(rows) == 110
+    assert max(rows) - min(rows) <= 1
+
+
+def test_matmul_byte_counts():
+    cm = CostModel()
+    assert cm.matmul_b_bytes(110) == 110 * 110 * ELEMENT_BYTES
+    assert cm.matmul_slice_bytes(110, 7) == 7 * 110 * ELEMENT_BYTES
+    assert cm.matmul_memory_coordinator(110) == 3 * 110 * 110 * ELEMENT_BYTES
+
+
+def test_selection_sort_quadratic():
+    cm = CostModel()
+    assert cm.selection_sort_ops(100) == pytest.approx(5000)
+    # Fixed architecture's advantage: 16 sub-arrays do 16x less work.
+    total_16 = 16 * cm.selection_sort_ops(1600 / 16)
+    total_1 = cm.selection_sort_ops(1600)
+    assert total_1 / total_16 == pytest.approx(16)
+
+
+def test_divide_merge_linear():
+    cm = CostModel()
+    assert cm.divide_ops(500) == 500
+    assert cm.merge_ops(500) == 500
+
+
+# ------------------------------------------------------------ architectures
+def test_architecture_process_counts():
+    fixed = MatMulApplication(50, architecture=FIXED, fixed_processes=16)
+    adaptive = MatMulApplication(50, architecture=ADAPTIVE)
+    assert fixed.num_processes(4) == 16
+    assert fixed.num_processes(16) == 16
+    assert adaptive.num_processes(4) == 4
+    assert adaptive.num_processes(16) == 16
+
+
+def test_invalid_architecture_rejected():
+    with pytest.raises(SoftwareArchitectureError):
+        MatMulApplication(50, architecture="magic")
+    with pytest.raises(SoftwareArchitectureError):
+        MatMulApplication(50, fixed_processes=0)
+
+
+def test_sort_requires_power_of_two_processes():
+    with pytest.raises(ValueError):
+        SortApplication(100, fixed_processes=12)
+    app = SortApplication(100, architecture=ADAPTIVE)
+    with pytest.raises(ValueError):
+        app.num_processes(3)
+    assert app.num_processes(8) == 8
+
+
+def test_invalid_problem_sizes():
+    with pytest.raises(ValueError):
+        MatMulApplication(0)
+    with pytest.raises(ValueError):
+        SortApplication(0)
+    with pytest.raises(ValueError):
+        SyntheticForkJoin(0)
+    with pytest.raises(ValueError):
+        SyntheticForkJoin(100, message_bytes=-1)
+
+
+def test_load_and_result_bytes():
+    mm = MatMulApplication(100)
+    assert mm.load_bytes > 2 * 100 * 100 * ELEMENT_BYTES
+    assert mm.result_bytes == 100 * 100 * ELEMENT_BYTES
+    srt = SortApplication(1000)
+    assert srt.load_bytes > 1000 * ELEMENT_BYTES
+    assert srt.result_bytes == 1000 * ELEMENT_BYTES
+    syn = SyntheticForkJoin(1e5)
+    assert syn.load_bytes > 0 and syn.result_bytes == 0
+
+
+# ----------------------------------------------------------- app execution
+def run_single(app, num_nodes=4, partition=4):
+    cfg = SystemConfig(num_nodes=num_nodes, topology="linear",
+                       transputer=ideal_transputer())
+    system = MulticomputerSystem(cfg, StaticSpaceSharing(partition))
+    return system.run_batch(BatchWorkload([JobSpec(app, "solo")]))
+
+
+def test_matmul_single_job_work_conservation():
+    app = MatMulApplication(48, architecture=ADAPTIVE)
+    result = run_single(app)
+    ideal = app.total_ops(4) / 1e6 / 4
+    assert result.makespan >= ideal * 0.999
+    assert result.makespan == pytest.approx(ideal, rel=0.1)
+
+
+def test_matmul_tree_distribution_runs_and_reduces_root_traffic():
+    flat = run_single(MatMulApplication(48, architecture="adaptive",
+                                        b_distribution="flat"))
+    tree = run_single(MatMulApplication(48, architecture="adaptive",
+                                        b_distribution="tree"))
+    # Same computation either way; the tree variant must also complete.
+    assert tree.mean_response_time > 0
+    # Tree mode sends more messages (B relays + separate A slices)...
+    assert tree.snapshot.messages >= flat.snapshot.messages
+    # ...but fewer bytes leave the coordinator itself: with 4 processes
+    # the coordinator emits 2 B copies instead of 3.
+    assert tree.snapshot.bytes_sent <= flat.snapshot.bytes_sent * 1.2
+
+
+def test_matmul_rejects_unknown_distribution():
+    with pytest.raises(ValueError, match="b_distribution"):
+        MatMulApplication(48, b_distribution="carrier-pigeon")
+
+
+def test_matmul_fixed_more_messages_than_adaptive():
+    """On a small partition the fixed architecture sends 15 work
+    messages (some to itself) versus 3 for adaptive."""
+    fixed = run_single(MatMulApplication(48, architecture=FIXED))
+    adaptive = run_single(MatMulApplication(48, architecture=ADAPTIVE))
+    assert fixed.snapshot.messages > adaptive.snapshot.messages
+
+
+def test_sort_total_ops_decreases_with_processes():
+    """The quadratic worker phase makes more (smaller) segments cheaper."""
+    app = SortApplication(4096)
+    assert app.total_ops(16) < app.total_ops(4) < app.total_ops(1)
+
+
+def test_sort_single_job_runs_and_conserves_work():
+    app = SortApplication(1024, architecture=ADAPTIVE)
+    result = run_single(app)
+    # At least the per-processor sort work must elapse.
+    per_node = app.costs.selection_sort_ops(1024 / 4) / 1e6
+    assert result.makespan >= per_node * 0.999
+
+
+def test_sort_fixed_beats_adaptive_on_one_processor():
+    """Paper F7: 16 small selection sorts beat 1 big one superlinearly."""
+    fixed = run_single(SortApplication(2048, architecture=FIXED),
+                       num_nodes=1, partition=1)
+    adaptive = run_single(SortApplication(2048, architecture=ADAPTIVE),
+                          num_nodes=1, partition=1)
+    assert adaptive.makespan / fixed.makespan > 4
+
+
+def test_synthetic_job_scales_with_ops():
+    r1 = run_single(SyntheticForkJoin(1e5, architecture=ADAPTIVE))
+    r2 = run_single(SyntheticForkJoin(4e5, architecture=ADAPTIVE))
+    assert r2.makespan == pytest.approx(4 * r1.makespan, rel=0.2)
+
+
+# ------------------------------------------------------------------ batches
+def test_standard_batch_composition():
+    batch = standard_batch("matmul")
+    assert len(batch) == 16
+    assert batch.counts() == {"small": 12, "large": 4}
+
+
+def test_standard_batch_default_sizes():
+    batch = standard_batch("matmul")
+    ns = {spec.application.n for spec in batch}
+    assert ns == {55, 110}
+    batch = standard_batch("sort")
+    ns = {spec.application.n for spec in batch}
+    assert ns == {6_000, 14_000}
+
+
+def test_standard_batch_rejects_unknown_app():
+    with pytest.raises(ValueError):
+        standard_batch("raytracer")
+
+
+def test_orderings():
+    batch = standard_batch("matmul")
+    best = batch.ordered("best")
+    worst = batch.ordered("worst")
+    assert [s.size_class for s in best][:12] == ["small"] * 12
+    assert [s.size_class for s in worst][:4] == ["large"] * 4
+    with pytest.raises(ValueError):
+        batch.ordered("random")
+
+
+def test_interleaved_spreads_large_jobs_across_partitions():
+    """Round-robin dispatch over 2, 4 or 8 partitions must never put
+    every large job in the same partition."""
+    batch = standard_batch("matmul")
+    positions = [i for i, s in enumerate(batch) if s.size_class == "large"]
+    for parts in (2, 4, 8):
+        residues = {p % parts for p in positions}
+        assert len(residues) > 1
+
+
+def test_job_spec_weight_orders_by_demand():
+    batch = standard_batch("sort")
+    small = next(s for s in batch if s.size_class == "small")
+    large = next(s for s in batch if s.size_class == "large")
+    assert large.weight > small.weight
+
+
+# ------------------------------------------------------------- distributions
+def test_lognormal_demands_moments():
+    import numpy as np
+
+    rng = np.random.default_rng(7)
+    xs = lognormal_demands(1e6, 1.0, 20000, rng)
+    mean = float(np.mean(xs))
+    cv = float(np.std(xs) / mean)
+    assert mean == pytest.approx(1e6, rel=0.05)
+    assert cv == pytest.approx(1.0, rel=0.08)
+    assert lognormal_demands(1e6, 0.0, 3, rng) == [1e6] * 3
+    with pytest.raises(ValueError):
+        lognormal_demands(-1, 1, 3, rng)
+    with pytest.raises(ValueError):
+        lognormal_demands(1e6, -0.5, 3, rng)
+
+
+@given(st.integers(min_value=1, max_value=64),
+       st.integers(min_value=1, max_value=16))
+@settings(max_examples=50, deadline=None)
+def test_property_split_rows_conservation(n, workers):
+    rows = CostModel.split_rows(n, workers)
+    assert len(rows) == workers
+    assert sum(rows) == n
+    assert max(rows) - min(rows) <= 1
+
+
+@given(st.integers(min_value=1, max_value=4096))
+@settings(max_examples=50, deadline=None)
+def test_property_sort_tree_conserves_elements(n):
+    """The divide tree's segment arithmetic loses no elements: the sum
+    of final segments equals n for any T."""
+    for T in (1, 2, 4, 8, 16):
+        segs = {0: n}
+        depth = T.bit_length() - 1
+        for level in range(depth):
+            for w in list(segs):
+                if w < (1 << level):
+                    give = segs[w] // 2
+                    segs[w] -= give
+                    segs[w + (1 << level)] = give
+        assert sum(segs.values()) == n
+        assert len(segs) == T

@@ -1,0 +1,128 @@
+"""Tests for the extension workloads: stencil and pipeline."""
+
+import pytest
+
+from repro.core import (
+    MulticomputerSystem,
+    StaticSpaceSharing,
+    SystemConfig,
+)
+from repro.workload import (
+    BatchWorkload,
+    JobSpec,
+    PipelineApplication,
+    StencilApplication,
+)
+
+from tests.conftest import ideal_transputer
+
+
+def run_single(app, num_nodes=4, partition=4, topology="linear",
+               transputer=None):
+    cfg = SystemConfig(num_nodes=num_nodes, topology=topology,
+                       transputer=transputer or ideal_transputer())
+    system = MulticomputerSystem(cfg, StaticSpaceSharing(partition))
+    return system.run_batch(BatchWorkload([JobSpec(app, "solo")]))
+
+
+# ----------------------------------------------------------------- stencil
+def test_stencil_validation():
+    with pytest.raises(ValueError):
+        StencilApplication(0)
+    with pytest.raises(ValueError):
+        StencilApplication(10, iterations=0)
+    with pytest.raises(ValueError):
+        StencilApplication(10, points=0)
+
+
+def test_stencil_total_ops():
+    app = StencilApplication(100, iterations=4)
+    assert app.total_ops(4) == 5 * 100 * 100 * 4
+
+
+def test_stencil_runs_and_conserves_work():
+    app = StencilApplication(64, iterations=3)
+    result = run_single(app)
+    ideal = app.total_ops(4) / 1e6 / 4
+    assert result.makespan >= ideal * 0.999
+    assert result.makespan == pytest.approx(ideal, rel=0.1)
+
+
+def test_stencil_single_process_no_communication():
+    app = StencilApplication(64, iterations=3)
+    result = run_single(app, num_nodes=1, partition=1)
+    assert result.snapshot.messages == 0
+
+
+def test_stencil_neighbor_messages_per_iteration():
+    """T strips exchange 2(T-1) boundary messages per iteration after
+    the first."""
+    app = StencilApplication(64, iterations=4)
+    result = run_single(app, num_nodes=4, partition=4)
+    expected = 2 * 3 * (4 - 1)  # 2(T-1) x (iterations-1)
+    assert result.snapshot.messages == expected
+
+
+def test_stencil_topology_sensitivity():
+    """With real comm costs, a stencil on a ring (neighbours adjacent)
+    beats the same stencil on a star-of-distance... here: linear vs a
+    mesh whose strip neighbours are farther apart is subtle, so compare
+    the clean case: linear (all logical neighbours physical) is at least
+    as good as any other arrangement of the same machine."""
+    from repro.transputer import TransputerConfig
+
+    cfg = TransputerConfig()
+    app = StencilApplication(96, iterations=12, architecture="fixed",
+                             fixed_processes=16)
+    linear = run_single(app, num_nodes=8, partition=8, topology="linear",
+                        transputer=cfg)
+    # Fixed arch, 16 strips on 8 nodes: neighbours straddle nodes.
+    hyper = run_single(app, num_nodes=8, partition=8, topology="hypercube",
+                       transputer=cfg)
+    # Both complete; the shapes differ but stay within a sane band.
+    assert linear.makespan > 0 and hyper.makespan > 0
+    assert linear.makespan < 5 * hyper.makespan
+    assert hyper.makespan < 5 * linear.makespan
+
+
+# ---------------------------------------------------------------- pipeline
+def test_pipeline_validation():
+    with pytest.raises(ValueError):
+        PipelineApplication(0, 100)
+    with pytest.raises(ValueError):
+        PipelineApplication(10, 0)
+    with pytest.raises(ValueError):
+        PipelineApplication(10, 100, item_bytes=-1)
+
+
+def test_pipeline_total_ops_counts_all_stages():
+    app = PipelineApplication(10, 1000)
+    assert app.total_ops(4) == 10 * 1000 * 4
+
+
+def test_pipeline_throughput_limited_by_stage_time():
+    """With free communication, M items through T stages take
+    ~ (T + M - 1) * stage_time (classic pipeline fill + drain)."""
+    items, ops = 20, 5e4  # 50 ms per stage at 1e6 ops/s
+    app = PipelineApplication(items, ops, architecture="adaptive")
+    result = run_single(app, num_nodes=4, partition=4)
+    stage = ops / 1e6
+    ideal = (4 + items - 1) * stage
+    assert result.makespan == pytest.approx(ideal, rel=0.1)
+
+
+def test_pipeline_speedup_over_serial():
+    """The pipeline on 4 stages must beat the same work on 1 stage."""
+    app4 = PipelineApplication(32, 2e4, architecture="adaptive")
+    r4 = run_single(app4, num_nodes=4, partition=4)
+    app1 = PipelineApplication(32, 2e4 * 4, architecture="adaptive",
+                               fixed_processes=1)
+    r1 = run_single(app1, num_nodes=1, partition=1)
+    assert r4.makespan < r1.makespan
+    assert r1.makespan / r4.makespan > 2  # decent pipeline efficiency
+
+
+def test_pipeline_message_count():
+    app = PipelineApplication(7, 1e4, architecture="adaptive")
+    result = run_single(app, num_nodes=4, partition=4)
+    assert result.snapshot.messages == 7 * 3  # items x (stages-1)
