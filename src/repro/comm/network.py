@@ -221,7 +221,22 @@ class Network:
                 slot = None
             else:
                 slot = yield v_node.buffers.acquire(hop)
-            yield self.nodes[u].link_to(v).transmit(packet.nbytes)
+            link = self.nodes[u].link_to(v)
+            tel = env.telemetry
+            if tel is not None:
+                wait = link.backlog
+                service = link.startup + packet.nbytes / link.bandwidth
+                tel.slice("link.transfer", f"link{u}->{v}",
+                          env.now + wait, service,
+                          node=u, dst=v, nbytes=packet.nbytes, wait=wait)
+                tel.metrics.counter("net.packet_hops").inc()
+                tel.metrics.gauge(f"link.backlog.node{u}->{v}").set(
+                    wait + service
+                )
+                tel.metrics.gauge(f"link.busy.node{u}->{v}").set(
+                    link.stats.busy_time + service
+                )
+            yield link.transmit(packet.nbytes)
             self.stats.record_hop(v, packet.nbytes)
             if held is not None:
                 held.release()
@@ -239,3 +254,9 @@ class Network:
         self.stats.messages_delivered += 1
         self.nodes[message.dst].mailbox.deliver(message, allocation)
         self.stats.total_latency += message.delivered_at - message.sent_at
+        tel = self.env.telemetry
+        if tel is not None:
+            tel.metrics.counter("net.messages").inc()
+            tel.metrics.histogram("net.msg_latency").observe(
+                message.delivered_at - message.sent_at
+            )

@@ -131,3 +131,14 @@ class WormholeNetwork:
         self.stats.messages_delivered += 1
         self.nodes[message.dst].mailbox.deliver(message, allocation)
         self.stats.total_latency += message.delivered_at - message.sent_at
+        tel = self.env.telemetry
+        if tel is not None:
+            latency = message.delivered_at - message.sent_at
+            tel.metrics.counter("net.messages").inc()
+            tel.metrics.counter("net.packet_hops").inc(message.hops)
+            tel.metrics.histogram("net.msg_latency").observe(latency)
+            # Wormhole holds whole channel paths, not per-hop buffers, so
+            # the natural span is the message itself on the source node.
+            tel.slice("link.transfer", f"worm{message.src}->{message.dst}",
+                      message.sent_at, latency, node=message.src,
+                      dst=message.dst, nbytes=message.nbytes, wait=0.0)

@@ -41,6 +41,12 @@ class LocalScheduler:
         req = self.node.cpu.execute(
             work_seconds, priority=LOW, quantum=quantum, tag=job.job_id
         )
+        tel = self.node.env.telemetry
+        if tel is not None:
+            tel.metrics.histogram("sched.burst_seconds").observe(work_seconds)
+            tel.metrics.gauge(
+                f"cpu.backlog.node{self.node_id}"
+            ).set(self.node.cpu.queue_length)
         req.callbacks.append(self._account(job))
         return req
 

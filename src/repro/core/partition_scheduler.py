@@ -65,6 +65,16 @@ class PartitionScheduler:
         job.mark_dispatched(self.env.now, self.partition)
         self.pending.append(job)
         self._try_launch()
+        self._observe_load()
+
+    def _observe_load(self):
+        tel = self.env.telemetry
+        if tel is not None:
+            pid = self.partition.partition_id
+            tel.metrics.gauge(f"sched.part{pid}.active").set(len(self.active))
+            tel.metrics.gauge(f"sched.part{pid}.pending").set(
+                len(self.pending)
+            )
 
     # -- launch -----------------------------------------------------------
     def _try_launch(self):
@@ -95,6 +105,11 @@ class PartitionScheduler:
             for node in self.partition.nodes.values():
                 if job.job_id not in node.cpu._paused:
                     node.cpu.pause_tag(job.job_id)
+        tel = self.env.telemetry
+        if tel is not None and job.submitted_at is not None:
+            tel.metrics.histogram("sched.allocation_wait").observe(
+                self.env.now - job.submitted_at
+            )
         job.mark_started(self.env.now)
         proc = self.env.process(
             self._job_body(job, app, ctx), name=f"{job.name}-app"
@@ -176,6 +191,7 @@ class PartitionScheduler:
             self.active.pop(job.job_id, None)
             self.completed_jobs.append(job)
             self._try_launch()
+            self._observe_load()
             if self.on_job_complete is not None:
                 self.on_job_complete(self, job)
         return on_done

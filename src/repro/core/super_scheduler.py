@@ -64,6 +64,12 @@ class SuperScheduler:
         for part in self.partitions:
             part.scheduler.on_job_complete = self._on_job_complete
 
+    # -- telemetry ---------------------------------------------------------
+    def _observe_queue(self):
+        tel = self.env.telemetry
+        if tel is not None:
+            tel.metrics.gauge("sched.ready_queue").set(len(self.ready_queue))
+
     # -- submission --------------------------------------------------------
     def submit(self, job):
         """Enter a job into the system at the current time."""
@@ -72,6 +78,7 @@ class SuperScheduler:
         if self.policy.dynamic:
             self.ready_queue.append(job)
             self._dispatch_dynamic()
+            self._observe_queue()
         elif self.policy.time_shared:
             # Equitable distribution: round-robin over partitions.
             part = self.partitions[self._rr_next % len(self.partitions)]
@@ -80,6 +87,7 @@ class SuperScheduler:
         else:
             self.ready_queue.append(job)
             self._dispatch_static()
+            self._observe_queue()
 
     def submit_batch(self, jobs):
         """Submit a batch as a unit.
@@ -99,6 +107,7 @@ class SuperScheduler:
             self.jobs.append(job)
             self.ready_queue.append(job)
         self._dispatch_static()
+        self._observe_queue()
 
     # -- dispatch ----------------------------------------------------------
     def _dispatch_static(self):
@@ -153,20 +162,28 @@ class SuperScheduler:
     # -- completion --------------------------------------------------------
     def _on_job_complete(self, scheduler, job):
         self._completed += 1
+        tel = self.env.telemetry
+        if tel is not None:
+            tel.metrics.counter("sched.jobs_completed").inc()
         for hook in self.completion_hooks:
             hook(job)
         if not self.policy.time_shared:
             self._dispatch_static()
+            self._observe_queue()
         self._check_all_done()
 
     def _on_dynamic_job_complete(self, scheduler, job):
         self._completed += 1
+        tel = self.env.telemetry
+        if tel is not None:
+            tel.metrics.counter("sched.jobs_completed").inc()
         part = scheduler.partition
         self.partitions.remove(part)
         self._pool.update(part.nodes)
         for hook in self.completion_hooks:
             hook(job)
         self._dispatch_dynamic()
+        self._observe_queue()
         self._check_all_done()
 
     def _check_all_done(self):

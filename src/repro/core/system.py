@@ -60,6 +60,17 @@ class SystemConfig:
     #: Record a structured event trace of job transitions (available as
     #: ``system.trace_recorder`` after the run).
     trace: bool = False
+    #: Enable the full telemetry subsystem (:mod:`repro.obs`): metrics
+    #: registry, CPU/link/memory/scheduler instrumentation, and span
+    #: tracing, available as ``system.telemetry`` after the run and
+    #: exportable to Perfetto/JSONL.  Implies job-transition tracing.
+    #: Recording never creates simulation events, so enabling this does
+    #: not perturb simulated time or results.
+    telemetry: bool = False
+    #: Ring-buffer capacity of the telemetry event recorder (``None``
+    #: uses :data:`repro.obs.telemetry.DEFAULT_CAPACITY`); oldest events
+    #: are evicted first and counted as dropped.
+    telemetry_capacity: int = None
 
     def topology_kwargs(self, partition_size):
         name = self.topology.lower()
@@ -91,12 +102,24 @@ class MulticomputerSystem:
         self.nodes = None
         self.partitions = None
         self.super_scheduler = None
+        self.telemetry = None
 
     # -- assembly ------------------------------------------------------
     def build(self):
         """Construct a fresh environment, nodes, partitions, schedulers."""
         cfg = self.config
         env = Environment()
+        if cfg.telemetry:
+            from repro.obs.telemetry import DEFAULT_CAPACITY, attach
+
+            self.telemetry = attach(
+                env,
+                capacity=(cfg.telemetry_capacity
+                          if cfg.telemetry_capacity is not None
+                          else DEFAULT_CAPACITY),
+            )
+        else:
+            self.telemetry = None
         nodes = {
             i: TransputerNode(
                 env, i, cfg.transputer, mailbox_bytes=cfg.mailbox_bytes
@@ -152,7 +175,10 @@ class MulticomputerSystem:
         self.nodes = nodes
         self.partitions = partitions
         self.super_scheduler = sched
-        if cfg.trace:
+        if self.telemetry is not None:
+            # The telemetry recorder doubles as the job-transition trace.
+            self.trace_recorder = self.telemetry.recorder
+        elif cfg.trace:
             from repro.trace.recorder import TraceRecorder
 
             self.trace_recorder = TraceRecorder()

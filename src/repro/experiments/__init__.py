@@ -39,7 +39,12 @@ from repro.experiments.runner import (
     run_figure,
     run_static_averaged,
 )
-from repro.experiments.report import format_grid, grid_to_csv
+from repro.experiments.report import (
+    format_grid,
+    format_telemetry_summary,
+    grid_to_csv,
+    telemetry_policy_rows,
+)
 from repro.experiments.serialization import (
     config_from_dict,
     config_to_dict,
@@ -62,7 +67,9 @@ __all__ = [
     "crossover_partition_size",
     "figure_spec",
     "format_grid",
+    "format_telemetry_summary",
     "grid_to_csv",
+    "telemetry_policy_rows",
     "load_results",
     "result_to_dict",
     "run_cell",

@@ -6,17 +6,25 @@ Examples::
     python -m repro.experiments --figure all --scale smoke
     python -m repro.experiments --ablation variance
     python -m repro.experiments --figure 4 --csv fig4.csv
+    python -m repro.experiments --figure 3 --trace-out run.perfetto.json \
+        --metrics-out metrics.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
 from repro.experiments.ablations import ALL_ABLATIONS
 from repro.experiments.config import ExperimentScale, figure_spec
-from repro.experiments.report import format_ablation, format_grid, grid_to_csv
+from repro.experiments.report import (
+    format_ablation,
+    format_grid,
+    format_telemetry_summary,
+    grid_to_csv,
+)
 from repro.experiments.runner import run_figure
 
 
@@ -40,6 +48,15 @@ def _parse_args(argv):
     )
     parser.add_argument(
         "--csv", default=None, help="also write the grid as CSV to this path"
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="record telemetry and write the last cell's run as a "
+             "Chrome-trace/Perfetto JSON (open at ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="record telemetry and write per-cell metric summaries as JSON",
     )
     parser.add_argument(
         "--chart", action="store_true",
@@ -70,19 +87,26 @@ def _run_figures(args, out=None):
     scale = (ExperimentScale.paper() if args.scale == "paper"
              else ExperimentScale.smoke())
     numbers = [3, 4, 5, 6] if args.figure == "all" else [int(args.figure)]
+    telemetry_wanted = bool(args.trace_out or args.metrics_out)
     all_cells = []
+    all_telemetry = []
     for number in numbers:
         spec = figure_spec(number)
         start = time.time()
+        sink = [] if telemetry_wanted else None
 
         def progress(cell):
             print(f"  {cell.label:>4} {cell.policy:<12} "
                   f"rt={cell.mean_response_time:9.3f}s", file=out)
 
         print(f"=== Figure {number}: {spec.title} [{scale.name}]", file=out)
-        cells = run_figure(spec, scale, progress=progress)
+        cells = run_figure(spec, scale, progress=progress,
+                           telemetry_sink=sink)
         print(format_grid(cells, title=f"Figure {number} ({spec.title})"),
               file=out)
+        if sink:
+            print(format_telemetry_summary(sink), file=out)
+            all_telemetry.extend(sink)
         if args.chart:
             from repro.trace import render_series
 
@@ -98,6 +122,41 @@ def _run_figures(args, out=None):
         with open(args.csv, "w") as fh:
             fh.write(grid_to_csv(all_cells))
         print(f"wrote {args.csv}", file=out)
+    if telemetry_wanted:
+        _write_telemetry(args, all_telemetry, out)
+
+
+def _write_telemetry(args, entries, out):
+    """Export recorded telemetry (Perfetto trace + metrics JSON)."""
+    if not entries:
+        print("no telemetry recorded", file=out)
+        return
+    if args.trace_out:
+        from repro.obs import write_perfetto
+
+        label, policy, tel = entries[-1]
+        n = write_perfetto(tel, args.trace_out)
+        summary = tel.summary()
+        print(f"wrote {args.trace_out} ({n} trace events from cell "
+              f"{label} [{policy}]; {summary['events']} recorded, "
+              f"{summary['dropped']} dropped)", file=out)
+    if args.metrics_out:
+        doc = {
+            "cells": [
+                {
+                    "label": label,
+                    "policy": policy,
+                    "summary": tel.summary(),
+                    "metrics": tel.metrics.to_dict(),
+                }
+                for label, policy, tel in entries
+            ],
+        }
+        with open(args.metrics_out, "w") as fh:
+            json.dump(doc, fh, indent=1)
+        dropped = sum(c["summary"]["dropped"] for c in doc["cells"])
+        print(f"wrote {args.metrics_out} ({len(doc['cells'])} cells, "
+              f"{dropped} events dropped overall)", file=out)
 
 
 def _run_ablations(args, out=None):

@@ -69,6 +69,56 @@ def grid_to_csv(cells):
     return out.getvalue()
 
 
+def telemetry_policy_rows(entries):
+    """Aggregate telemetry per policy: (rows, columns) for the report.
+
+    ``entries`` is a list of ``(cell_label, policy, Telemetry)`` as
+    produced by the runner's ``telemetry_sink``.  Histogram means merge
+    exactly (shared fixed bucket boundaries → sums of sums).
+    """
+    agg = {}
+    for _label, policy, tel in entries:
+        row = agg.setdefault(policy, {
+            "policy": policy, "runs": 0, "events": 0, "dropped": 0,
+            "preemptions": 0, "messages": 0,
+            "_disp_total": 0.0, "_disp_count": 0,
+            "_alloc_total": 0.0, "_alloc_count": 0,
+            "_lat_total": 0.0, "_lat_count": 0,
+        })
+        row["runs"] += 1
+        row["events"] += len(tel.recorder)
+        row["dropped"] += tel.recorder.dropped
+        row["preemptions"] += getattr(
+            tel.metrics.get("cpu.preemptions"), "value", 0)
+        row["messages"] += getattr(
+            tel.metrics.get("net.messages"), "value", 0)
+        for key, name in (("disp", "cpu.dispatch_latency"),
+                          ("alloc", "sched.allocation_wait"),
+                          ("lat", "net.msg_latency")):
+            hist = tel.metrics.get(name)
+            if hist is not None:
+                row[f"_{key}_total"] += hist.total
+                row[f"_{key}_count"] += hist.count
+    rows = []
+    for policy in sorted(agg):
+        row = agg[policy]
+        for key, out in (("disp", "disp_lat"), ("alloc", "alloc_wait"),
+                         ("lat", "msg_lat")):
+            count = row.pop(f"_{key}_count")
+            total = row.pop(f"_{key}_total")
+            row[out] = total / count if count else 0.0
+        rows.append(row)
+    columns = ["policy", "runs", "events", "dropped", "preemptions",
+               "messages", "disp_lat", "alloc_wait", "msg_lat"]
+    return rows, columns
+
+
+def format_telemetry_summary(entries, title="=== Telemetry (per policy)"):
+    """Render the per-policy telemetry summary table."""
+    rows, columns = telemetry_policy_rows(entries)
+    return format_ablation(rows, columns, title=title)
+
+
 def format_ablation(rows, columns, title=""):
     """Render ablation rows (list of dicts) as an aligned table."""
     out = io.StringIO()

@@ -53,27 +53,42 @@ def _policy_for(kind, partition_size, num_nodes):
     raise ValueError(f"unknown policy family {kind!r}")
 
 
-def run_static_averaged(config, partition_size, batch):
+def run_static_averaged(config, partition_size, batch, telemetry_sink=None):
     """Static policy: average of best and worst FCFS orderings.
 
     Returns (mean_response_time, best_result, worst_result), matching
     Section 5.1's fairness rule for comparing against time-sharing.
+    ``telemetry_sink``, if given, receives the instrumented systems'
+    :class:`~repro.obs.Telemetry` objects (requires
+    ``config.telemetry``).
     """
-    best = MulticomputerSystem(
-        config, StaticSpaceSharing(partition_size)
-    ).run_batch(batch.ordered("best"), label="static:best")
-    worst = MulticomputerSystem(
-        config, StaticSpaceSharing(partition_size)
-    ).run_batch(batch.ordered("worst"), label="static:worst")
+    best_sys = MulticomputerSystem(config, StaticSpaceSharing(partition_size))
+    best = best_sys.run_batch(batch.ordered("best"), label="static:best")
+    worst_sys = MulticomputerSystem(config, StaticSpaceSharing(partition_size))
+    worst = worst_sys.run_batch(batch.ordered("worst"), label="static:worst")
+    if telemetry_sink is not None:
+        for order, system in (("best", best_sys), ("worst", worst_sys)):
+            if system.telemetry is not None:
+                telemetry_sink.append(
+                    (f"static:{order}", "static", system.telemetry)
+                )
     mean = (best.mean_response_time + worst.mean_response_time) / 2.0
     return mean, best, worst
 
 
 def run_cell(figure, app, architecture, partition_size, topology,
-             policy_kind, scale, transputer=None, system_overrides=None):
-    """Run one grid cell and return a :class:`GridCell`."""
+             policy_kind, scale, transputer=None, system_overrides=None,
+             telemetry_sink=None):
+    """Run one grid cell and return a :class:`GridCell`.
+
+    ``telemetry_sink``, if given, is a list to which the cell's run is
+    added as ``(cell_label, policy, Telemetry)`` — telemetry is enabled
+    on the run automatically.
+    """
     kwargs = {"num_nodes": 16, "topology": topology}
     kwargs.update(system_overrides or {})
+    if telemetry_sink is not None:
+        kwargs.setdefault("telemetry", True)
     if transputer is not None:
         kwargs["transputer"] = transputer
     config = SystemConfig(**kwargs)
@@ -81,16 +96,24 @@ def run_cell(figure, app, architecture, partition_size, topology,
                            **scale.batch_kwargs(app))
     label = f"{partition_size}{topology[0].upper()}"
 
+    cell_sink = [] if telemetry_sink is not None else None
     if policy_kind == "static":
-        mean, best, worst = run_static_averaged(config, partition_size, batch)
+        mean, best, worst = run_static_averaged(config, partition_size, batch,
+                                                telemetry_sink=cell_sink)
         snap = best.snapshot
         makespan = (best.makespan + worst.makespan) / 2.0
     else:
         policy = _policy_for(policy_kind, partition_size, config.num_nodes)
-        result = MulticomputerSystem(config, policy).run_batch(batch)
+        system = MulticomputerSystem(config, policy)
+        result = system.run_batch(batch)
+        if cell_sink is not None and system.telemetry is not None:
+            cell_sink.append((policy_kind, policy_kind, system.telemetry))
         mean = result.mean_response_time
         snap = result.snapshot
         makespan = result.makespan
+    if telemetry_sink is not None:
+        for sub_label, _, tel in cell_sink:
+            telemetry_sink.append((f"{label}:{sub_label}", policy_kind, tel))
 
     return GridCell(
         figure=figure,
@@ -108,7 +131,7 @@ def run_cell(figure, app, architecture, partition_size, topology,
 
 
 def run_figure(spec, scale, transputer=None, system_overrides=None,
-               progress=None):
+               progress=None, telemetry_sink=None):
     """Regenerate one of the paper's figures as a list of GridCells.
 
     The paper's plot has a static and a time-sharing/hybrid series over
@@ -128,6 +151,7 @@ def run_figure(spec, scale, transputer=None, system_overrides=None,
                     spec.number, spec.app, spec.architecture, p, topo,
                     policy_kind, scale, transputer=transputer,
                     system_overrides=system_overrides,
+                    telemetry_sink=telemetry_sink,
                 )
                 cells.append(cell)
                 if progress is not None:

@@ -1,0 +1,59 @@
+"""Unified telemetry: metrics registry, spans, and trace exporters.
+
+The observability layer of the reproduction.  Enable it per run with
+``SystemConfig(telemetry=True)``; the system then owns a
+:class:`Telemetry` object (``system.telemetry``) that every model layer
+— CPUs, links, memory, schedulers — records into, and that exports as a
+Perfetto/Chrome trace (:func:`write_perfetto`) or a flat JSONL stream
+(:func:`write_jsonl`).
+
+Instrumentation is zero-cost when disabled: the environment's
+``telemetry`` attribute stays ``None`` and every site guards on it, and
+code that prefers to hold a registry unconditionally can use the shared
+:data:`NULL_REGISTRY`.  Recording never creates simulation events, so
+telemetry cannot perturb simulated time.
+"""
+
+from repro.obs.jsonl import jsonl_lines, jsonl_records, write_jsonl
+from repro.obs.metrics import (
+    DEFAULT_BOUNDARIES,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    log_boundaries,
+)
+from repro.obs.perfetto import (
+    node_pid,
+    pid_node,
+    to_perfetto,
+    write_perfetto,
+)
+from repro.obs.spans import Span, job_spans, slice_spans
+from repro.obs.telemetry import Telemetry, attach, registry_of
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BOUNDARIES",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "Span",
+    "Telemetry",
+    "attach",
+    "job_spans",
+    "jsonl_lines",
+    "jsonl_records",
+    "log_boundaries",
+    "node_pid",
+    "pid_node",
+    "registry_of",
+    "slice_spans",
+    "to_perfetto",
+    "write_jsonl",
+    "write_perfetto",
+]

@@ -1,0 +1,383 @@
+"""Metric instruments and the registry that owns them.
+
+Three instrument kinds, mirroring the usual metrics vocabulary:
+
+- :class:`Counter` — a monotonically increasing count (packets sent,
+  preemptions, jobs completed).
+- :class:`Gauge` — a piecewise-constant level (queue length, memory in
+  use).  Built on :class:`repro.sim.monitoring.TimeWeightedValue`, so it
+  yields exact time-averages; with ``series`` enabled it also keeps the
+  raw ``(time, value)`` samples for time-series export (Perfetto counter
+  tracks).
+- :class:`Histogram` — a distribution over **fixed log-scale bucket
+  boundaries**.  Because every histogram of a given name shares the same
+  boundaries, merging histograms across nodes (or across runs) is exact:
+  bucket counts simply add.
+
+A :class:`MetricsRegistry` hands out instruments by name with
+get-or-create semantics.  The disabled counterpart,
+:class:`NullRegistry`, returns shared no-op instruments, so
+instrumentation sites can call ``registry.counter("x").inc()``
+unconditionally with negligible cost when telemetry is off.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+
+
+def log_boundaries(low_exp=-9, high_exp=3, per_decade=4):
+    """Fixed log-scale bucket upper bounds: ``10**(k/per_decade)``.
+
+    The defaults span 1 ns .. 1000 s in quarter-decade steps — wide
+    enough for every latency in the simulator.  The boundaries are a
+    pure function of the arguments, so two histograms built with the
+    same arguments merge exactly.
+    """
+    return tuple(
+        10.0 ** (k / per_decade)
+        for k in range(low_exp * per_decade, high_exp * per_decade + 1)
+    )
+
+
+#: The registry-wide default boundaries (shared by name across nodes).
+DEFAULT_BOUNDARIES = log_boundaries()
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n=1):
+        if n < 0:
+            raise ValueError("counters only go up")
+        self.value += n
+
+    def to_dict(self):
+        return {"type": "counter", "value": self.value}
+
+    def __repr__(self):
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """Piecewise-constant level with exact time-averaging.
+
+    ``set``/``add`` mirror :class:`TimeWeightedValue`; when the owning
+    registry records series, every change appends a ``(time, value)``
+    sample (bounded by ``max_points``; older points are kept, newer ones
+    dropped and counted, since a truncated prefix still charts the run's
+    ramp-up).
+    """
+
+    __slots__ = ("name", "_twv", "samples", "_max_points", "dropped_points")
+
+    def __init__(self, name, env=None, initial=0.0, series=False,
+                 max_points=100_000):
+        self.name = name
+        self._twv = None
+        if env is not None:
+            from repro.sim.monitoring import TimeWeightedValue
+
+            self._twv = TimeWeightedValue(env, initial=initial)
+        self.samples = [] if series else None
+        self._max_points = max_points
+        self.dropped_points = 0
+        if series and env is not None:
+            self.samples.append((env.now, initial))
+
+    @property
+    def value(self):
+        return self._twv.value if self._twv is not None else 0.0
+
+    def set(self, value):
+        if self._twv is None:
+            return
+        self._twv.update(value)
+        if self.samples is not None:
+            if len(self.samples) < self._max_points:
+                self.samples.append((self._twv.env.now, value))
+            else:
+                self.dropped_points += 1
+
+    def add(self, delta):
+        self.set(self.value + delta)
+
+    def time_average(self, until=None):
+        return self._twv.time_average(until) if self._twv is not None else 0.0
+
+    def to_dict(self):
+        out = {
+            "type": "gauge",
+            "value": self.value,
+            "time_average": self.time_average(),
+        }
+        if self._twv is not None:
+            out["max"] = self._twv.max
+            out["min"] = self._twv.min
+        if self.samples is not None:
+            out["points"] = len(self.samples)
+            out["dropped_points"] = self.dropped_points
+        return out
+
+    def __repr__(self):
+        return f"<Gauge {self.name}={self.value}>"
+
+
+class Histogram:
+    """Distribution over fixed log-scale buckets (exactly mergeable).
+
+    ``counts[i]`` counts observations ``x <= boundaries[i]`` (and
+    ``> boundaries[i-1]``); ``counts[-1]`` is the overflow bucket.
+    Non-positive observations land in bucket 0.
+    """
+
+    __slots__ = ("name", "boundaries", "counts", "count", "total",
+                 "_min", "_max")
+
+    def __init__(self, name, boundaries=DEFAULT_BOUNDARIES):
+        self.name = name
+        self.boundaries = tuple(boundaries)
+        if list(self.boundaries) != sorted(set(self.boundaries)):
+            raise ValueError("boundaries must be strictly increasing")
+        self.counts = [0] * (len(self.boundaries) + 1)
+        self.count = 0
+        self.total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, x):
+        self.counts[bisect_left(self.boundaries, x)] += 1
+        self.count += 1
+        self.total += x
+        self._min = min(self._min, x)
+        self._max = max(self._max, x)
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def min(self):
+        return self._min if self.count else 0.0
+
+    @property
+    def max(self):
+        return self._max if self.count else 0.0
+
+    def quantile(self, q):
+        """Approximate quantile from the bucket counts (upper bound)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if not self.count:
+            return 0.0
+        rank = max(1, math.ceil(q * self.count))
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank:
+                if i < len(self.boundaries):
+                    return self.boundaries[i]
+                return self._max
+        return self._max
+
+    def merge(self, other):
+        """Exact in-place merge of another histogram (same boundaries)."""
+        if other.boundaries != self.boundaries:
+            raise ValueError(
+                f"cannot merge histograms with different boundaries "
+                f"({self.name!r} vs {other.name!r})"
+            )
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.count += other.count
+        self.total += other.total
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+        return self
+
+    def to_dict(self):
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.5),
+            "p99": self.quantile(0.99),
+            "nonzero_buckets": {
+                i: c for i, c in enumerate(self.counts) if c
+            },
+        }
+
+    def __repr__(self):
+        return (f"<Histogram {self.name} n={self.count} "
+                f"mean={self.mean:.4g}>")
+
+
+class MetricsRegistry:
+    """Get-or-create store of named instruments.
+
+    One registry per run.  Instrument names are flat strings; encode
+    identity as dotted suffixes (``link.backlog.3->4``,
+    ``mem.job.node5.in_use``) so the exporters can place them.
+    """
+
+    enabled = True
+
+    def __init__(self, env=None, series=True, max_series_points=100_000):
+        self.env = env
+        self.series = series
+        self.max_series_points = max_series_points
+        self._instruments = {}
+
+    def _get(self, name, kind, factory):
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = self._instruments[name] = factory()
+            return inst
+        if not isinstance(inst, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(inst).__name__}, not {kind.__name__}"
+            )
+        return inst
+
+    def counter(self, name):
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name, initial=0.0):
+        return self._get(name, Gauge, lambda: Gauge(
+            name, env=self.env, initial=initial, series=self.series,
+            max_points=self.max_series_points,
+        ))
+
+    def histogram(self, name, boundaries=DEFAULT_BOUNDARIES):
+        return self._get(name, Histogram,
+                         lambda: Histogram(name, boundaries=boundaries))
+
+    # -- introspection ---------------------------------------------------
+    def __len__(self):
+        return len(self._instruments)
+
+    def __iter__(self):
+        return iter(self._instruments.values())
+
+    def names(self, prefix=""):
+        return sorted(n for n in self._instruments if n.startswith(prefix))
+
+    def get(self, name):
+        return self._instruments.get(name)
+
+    def gauges(self):
+        return {n: i for n, i in self._instruments.items()
+                if isinstance(i, Gauge)}
+
+    def to_dict(self):
+        """JSON-serialisable dump of every instrument's summary."""
+        return {name: self._instruments[name].to_dict()
+                for name in sorted(self._instruments)}
+
+    def merge_histograms(self, prefix):
+        """Exact merge of all histograms whose name starts with ``prefix``."""
+        merged = None
+        for name in self.names(prefix):
+            inst = self._instruments[name]
+            if not isinstance(inst, Histogram):
+                continue
+            if merged is None:
+                merged = Histogram(f"{prefix}*", boundaries=inst.boundaries)
+            merged.merge(inst)
+        return merged
+
+
+class _NullInstrument:
+    """Shared do-nothing instrument backing :class:`NullRegistry`."""
+
+    __slots__ = ()
+    name = "null"
+    value = 0
+    count = 0
+    total = 0.0
+    mean = 0.0
+    min = 0.0
+    max = 0.0
+    samples = None
+    dropped_points = 0
+
+    def inc(self, n=1):
+        pass
+
+    def set(self, value):
+        pass
+
+    def add(self, delta):
+        pass
+
+    def observe(self, x):
+        pass
+
+    def time_average(self, until=None):
+        return 0.0
+
+    def quantile(self, q):
+        return 0.0
+
+    def to_dict(self):
+        return {"type": "null"}
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """Disabled registry: every lookup returns the shared no-op instrument.
+
+    Keeping the interface identical lets instrumentation sites hold a
+    registry reference unconditionally; with telemetry off every call
+    degrades to an attribute lookup and a no-op method.
+    """
+
+    enabled = False
+    env = None
+    series = False
+
+    def counter(self, name):
+        return NULL_INSTRUMENT
+
+    def gauge(self, name, initial=0.0):
+        return NULL_INSTRUMENT
+
+    def histogram(self, name, boundaries=DEFAULT_BOUNDARIES):
+        return NULL_INSTRUMENT
+
+    def __len__(self):
+        return 0
+
+    def __iter__(self):
+        return iter(())
+
+    def names(self, prefix=""):
+        return []
+
+    def get(self, name):
+        return None
+
+    def gauges(self):
+        return {}
+
+    def to_dict(self):
+        return {}
+
+    def merge_histograms(self, prefix):
+        return None
+
+
+#: Shared disabled registry (safe: it holds no state).
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,190 @@
+"""Chrome-trace / Perfetto export of an instrumented run.
+
+Produces the ``trace_events`` JSON format, which opens directly in
+`ui.perfetto.dev <https://ui.perfetto.dev>`_ (or ``chrome://tracing``):
+
+- one **process** per simulated node (``pid = node_id + 10``) with one
+  **thread** per hardware unit: the CPU, plus one thread per outgoing
+  link;
+- a **scheduler** process (``pid = 1``) with one thread per job carrying
+  the derived lifecycle spans (``queued / allocated / executing``) and a
+  ``departed`` instant;
+- every series-recording gauge becomes a counter track (``"C"``
+  events), placed on the node its name references (``...node5...``) or
+  on the scheduler process otherwise.
+
+Simulated seconds are exported as microseconds (the format's native
+unit), so a 10-second run reads as 10 s on the Perfetto timeline.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from repro.obs.spans import job_spans
+
+#: Process id of the synthetic "scheduler" process (job spans, global
+#: counters, uncategorised instants).
+SCHEDULER_PID = 1
+#: Node processes start here: ``pid = node_id + NODE_PID_BASE`` (the
+#: gap below keeps synthetic pids — scheduler, stray unowned CPUs —
+#: clear of real node pids).
+NODE_PID_BASE = 10
+#: The CPU thread of every node process.
+CPU_TID = 1
+
+_NODE_IN_NAME = re.compile(r"(?:^|[.\[])node(\d+)(?:[.\]]|$)")
+
+
+def node_pid(node_id):
+    """Perfetto pid for a simulated node."""
+    return int(node_id) + NODE_PID_BASE
+
+
+def pid_node(pid):
+    """Inverse of :func:`node_pid` (None for the scheduler process)."""
+    return pid - NODE_PID_BASE if pid >= NODE_PID_BASE else None
+
+
+def _us(t):
+    """Simulated seconds -> integer-friendly microseconds."""
+    return round(float(t) * 1e6, 3)
+
+
+class _TidTable:
+    """Sequential, deterministic (pid, name) -> tid assignment."""
+
+    def __init__(self):
+        self._tids = {}       # (pid, name) -> tid
+        self._next = {}       # pid -> next free tid
+        self.meta = []        # thread_name metadata events
+
+    def tid(self, pid, name, fixed=None):
+        key = (pid, name)
+        tid = self._tids.get(key)
+        if tid is None:
+            if fixed is not None:
+                tid = fixed
+                self._next[pid] = max(self._next.get(pid, CPU_TID + 1),
+                                      fixed + 1)
+            else:
+                # Sequential tids start above the fixed (CPU) slot so a
+                # link thread seen first can never collide with it.
+                tid = self._next.get(pid, CPU_TID + 1)
+                self._next[pid] = tid + 1
+            self._tids[key] = tid
+            self.meta.append({
+                "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                "args": {"name": name},
+            })
+        return tid
+
+
+def to_perfetto(telemetry):
+    """Convert a :class:`~repro.obs.telemetry.Telemetry` to trace JSON.
+
+    Returns the ``{"traceEvents": [...]}`` dict; events are sorted by
+    timestamp (metadata first), so ``ts`` is monotonic.
+    """
+    events = []
+    tids = _TidTable()
+    process_meta = {}
+
+    def ensure_process(pid, name):
+        if pid not in process_meta:
+            process_meta[pid] = {
+                "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                "args": {"name": name},
+            }
+
+    ensure_process(SCHEDULER_PID, "scheduler")
+
+    def node_process(nid):
+        pid = node_pid(nid)
+        ensure_process(pid, f"node {nid}")
+        return pid
+
+    recorded = list(telemetry.recorder)
+    for e in recorded:
+        if e.category == "cpu.slice":
+            pid = node_process(e.detail["node"])
+            tid = tids.tid(pid, "cpu", fixed=CPU_TID)
+            name = str(e.detail.get("tag", "work"))
+            events.append({
+                "ph": "X", "name": f"{e.detail.get('prio', '?')}:{name}",
+                "cat": e.category, "pid": pid, "tid": tid,
+                "ts": _us(e.time), "dur": _us(e.detail["dur"]),
+                "args": {"tag": name},
+            })
+        elif e.category == "cpu.preempt":
+            pid = node_process(e.detail["node"])
+            events.append({
+                "ph": "i", "name": "preempt", "cat": e.category,
+                "pid": pid, "tid": tids.tid(pid, "cpu", fixed=CPU_TID),
+                "ts": _us(e.time), "s": "t",
+                "args": {"tag": str(e.detail.get("tag", ""))},
+            })
+        elif e.category == "link.transfer":
+            pid = node_process(e.detail["node"])
+            tid = tids.tid(pid, f"link->{e.detail['dst']}")
+            events.append({
+                "ph": "X", "name": f"xfer {e.detail['nbytes']}B",
+                "cat": e.category, "pid": pid, "tid": tid,
+                "ts": _us(e.time), "dur": _us(e.detail["dur"]),
+                "args": {"nbytes": e.detail["nbytes"],
+                         "wait": e.detail.get("wait", 0.0)},
+            })
+        elif e.category.startswith("job."):
+            continue  # handled below via span derivation
+        else:
+            tid = tids.tid(SCHEDULER_PID, "events")
+            events.append({
+                "ph": "i", "name": e.category, "cat": e.category,
+                "pid": SCHEDULER_PID, "tid": tid, "ts": _us(e.time),
+                "s": "t",
+                "args": {k: str(v) for k, v in e.detail.items()},
+            })
+
+    for span in job_spans(recorded):
+        tid = tids.tid(SCHEDULER_PID, span.track)
+        events.append({
+            "ph": "X", "name": span.name, "cat": "job",
+            "pid": SCHEDULER_PID, "tid": tid,
+            "ts": _us(span.start), "dur": _us(span.duration),
+            "args": {k: str(v) for k, v in span.args.items()},
+        })
+    for e in recorded:
+        if e.category == "job.completed":
+            tid = tids.tid(SCHEDULER_PID, e.subject)
+            events.append({
+                "ph": "i", "name": "departed", "cat": "job",
+                "pid": SCHEDULER_PID, "tid": tid, "ts": _us(e.time),
+                "s": "t", "args": {},
+            })
+
+    for name, gauge in sorted(telemetry.metrics.gauges().items()):
+        if not gauge.samples:
+            continue
+        m = _NODE_IN_NAME.search(name)
+        if m is not None:
+            pid = node_process(int(m.group(1)))
+        else:
+            pid = SCHEDULER_PID
+        for t, v in gauge.samples:
+            events.append({
+                "ph": "C", "name": name, "pid": pid, "ts": _us(t),
+                "args": {"value": v},
+            })
+
+    events.sort(key=lambda ev: (ev["ts"], ev["pid"], ev.get("tid", 0)))
+    meta = [process_meta[p] for p in sorted(process_meta)] + tids.meta
+    return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+
+
+def write_perfetto(telemetry, path):
+    """Write the trace JSON to ``path``; returns the event count."""
+    doc = to_perfetto(telemetry)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, separators=(",", ":"))
+    return len(doc["traceEvents"])

@@ -1,0 +1,88 @@
+"""Spans: named intervals derived from the event trace.
+
+A :class:`Span` is a closed interval ``[start, end]`` with a name and a
+track (the job, node, or link it belongs to).  Job lifecycle spans are
+*derived* from the transition events the recorder already captures —
+``queued → allocated → executing → departed`` — rather than recorded
+separately, so the span view can never disagree with the event log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Lifecycle phases in order: (span name, start event, end event).
+JOB_PHASES = (
+    ("queued", "job.submitted", "job.dispatched"),
+    ("allocated", "job.dispatched", "job.started"),
+    ("executing", "job.started", "job.completed"),
+)
+
+
+@dataclass(frozen=True)
+class Span:
+    """One named interval on a track."""
+
+    name: str
+    track: str
+    start: float
+    end: float
+    args: dict = field(default_factory=dict, compare=False)
+
+    @property
+    def duration(self):
+        return self.end - self.start
+
+    def __str__(self):
+        return (f"[{self.start:12.6f} .. {self.end:12.6f}] "
+                f"{self.track}:{self.name}")
+
+
+def job_spans(events):
+    """Derive per-job lifecycle spans from ``job.*`` trace events.
+
+    ``events`` is any iterable of :class:`repro.trace.TraceEvent`.
+    Returns the spans sorted by ``(start, track)``.  Jobs whose start
+    event was evicted from a ring-buffer recorder simply contribute no
+    span for the truncated phase — the derivation is tolerant of a
+    partial log.
+    """
+    # subject -> {event name: time of first occurrence}
+    transitions = {}
+    details = {}
+    for e in events:
+        if not e.category.startswith("job."):
+            continue
+        slot = transitions.setdefault(e.subject, {})
+        slot.setdefault(e.category, e.time)
+        if e.detail:
+            details.setdefault(e.subject, {}).update(e.detail)
+    spans = []
+    for subject, marks in transitions.items():
+        for name, start_ev, end_ev in JOB_PHASES:
+            if start_ev in marks and end_ev in marks:
+                spans.append(Span(
+                    name, subject, marks[start_ev], marks[end_ev],
+                    args=dict(details.get(subject, {})),
+                ))
+    spans.sort(key=lambda s: (s.start, s.track, s.name))
+    return spans
+
+
+def slice_spans(events, category):
+    """Turn ``category`` slice events (detail: ``dur``) into spans.
+
+    Instrumentation records CPU dispatches and link transfers as events
+    stamped at the slice *start* with a ``dur`` detail; this widens them
+    back into spans for export.
+    """
+    spans = []
+    for e in events:
+        if e.category != category:
+            continue
+        dur = float(e.detail.get("dur", 0.0))
+        args = {k: v for k, v in e.detail.items() if k != "dur"}
+        spans.append(Span(category, e.subject, e.time, e.time + dur,
+                          args=args))
+    spans.sort(key=lambda s: (s.start, s.track))
+    return spans

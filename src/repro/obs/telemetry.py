@@ -1,0 +1,74 @@
+"""The telemetry facade threaded through a run.
+
+One :class:`Telemetry` object per instrumented run bundles the two
+sinks every model layer records into:
+
+- ``recorder`` — a ring-buffer :class:`repro.trace.TraceRecorder` for
+  discrete events (CPU slices, link transfers, job transitions);
+- ``metrics`` — a :class:`MetricsRegistry` for counters, gauges, and
+  histograms.
+
+The environment carries at most one telemetry object
+(``env.telemetry``, ``None`` by default); instrumentation sites guard
+with ``tel = env.telemetry`` / ``if tel is not None``, which costs one
+attribute load per site when telemetry is off.  Nothing in this module
+creates simulation events or processes, so enabling telemetry can never
+perturb simulated time.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
+from repro.trace.recorder import TraceRecorder
+
+#: Default ring-buffer capacity for instrumented runs.  Big experiments
+#: overflow it; the ring keeps the most recent events and counts drops.
+DEFAULT_CAPACITY = 500_000
+
+
+class Telemetry:
+    """Per-run bundle of event recorder + metrics registry."""
+
+    def __init__(self, env, capacity=DEFAULT_CAPACITY, series=True):
+        self.env = env
+        self.recorder = TraceRecorder(capacity=capacity)
+        self.metrics = MetricsRegistry(env=env, series=series)
+
+    # -- recording helpers ----------------------------------------------
+    def event(self, category, subject, **detail):
+        """Record an instant event at the current simulated time."""
+        self.recorder.record(self.env.now, category, subject, **detail)
+
+    def slice(self, category, subject, start, duration, **detail):
+        """Record an interval as an event at ``start`` with a ``dur``."""
+        self.recorder.record(start, category, subject, dur=duration,
+                             **detail)
+
+    def job_observer(self):
+        """``on_transition`` hook wiring job lifecycle into the recorder."""
+        return self.recorder.job_observer()
+
+    # -- summaries -------------------------------------------------------
+    def summary(self):
+        """Flat dict for run reports and the CLI footer."""
+        out = dict(self.recorder.summary())
+        out["instruments"] = len(self.metrics)
+        return out
+
+    def __repr__(self):
+        return (f"<Telemetry events={len(self.recorder)} "
+                f"dropped={self.recorder.dropped} "
+                f"instruments={len(self.metrics)}>")
+
+
+def attach(env, capacity=DEFAULT_CAPACITY, series=True):
+    """Create a :class:`Telemetry` and install it on ``env``."""
+    tel = Telemetry(env, capacity=capacity, series=series)
+    env.telemetry = tel
+    return tel
+
+
+def registry_of(env):
+    """The environment's metrics registry, or the shared no-op one."""
+    tel = getattr(env, "telemetry", None)
+    return tel.metrics if tel is not None else NULL_REGISTRY

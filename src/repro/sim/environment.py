@@ -55,6 +55,10 @@ class Environment:
         #: Number of events processed so far (useful for budget guards
         #: and performance reporting).
         self.events_processed = 0
+        #: Optional :class:`repro.obs.Telemetry` sink for this run.
+        #: ``None`` means telemetry is off; instrumentation sites guard
+        #: on it, so recording costs nothing when disabled.
+        self.telemetry = None
 
     # -- introspection ---------------------------------------------------
     @property

@@ -60,8 +60,19 @@ class TimeWeightedValue:
         self.update(self._value + delta)
 
     def time_average(self, until=None):
-        """Exact time-average of the signal from creation to ``until``."""
+        """Exact time-average of the signal from creation to ``until``.
+
+        ``until`` must not precede the last recorded change — the probe
+        only knows the signal's integral up to that point, so averaging
+        over an earlier horizon would silently charge a negative
+        interval at the current value.
+        """
         until = self.env.now if until is None else until
+        if until < self._last_change:
+            raise ValueError(
+                f"until={until} precedes the last recorded change at "
+                f"{self._last_change}"
+            )
         elapsed = until - self._start
         if elapsed <= 0:
             return self._value

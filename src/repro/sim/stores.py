@@ -15,26 +15,35 @@ from collections import deque
 from repro.sim.events import Event
 
 
+def _observe_wait(env, name, event):
+    """Record how long a put/get waited, when telemetry is enabled."""
+    tel = env.telemetry
+    if tel is not None:
+        tel.metrics.histogram(name).observe(env.now - event.requested_at)
+
+
 class ContainerPut(Event):
-    __slots__ = ("amount",)
+    __slots__ = ("amount", "requested_at")
 
     def __init__(self, container, amount):
         if amount <= 0:
             raise ValueError(f"put amount must be positive, got {amount}")
         super().__init__(container.env)
         self.amount = amount
+        self.requested_at = container.env.now
         container._put_waiters.append(self)
         container._trigger()
 
 
 class ContainerGet(Event):
-    __slots__ = ("amount",)
+    __slots__ = ("amount", "requested_at")
 
     def __init__(self, container, amount):
         if amount <= 0:
             raise ValueError(f"get amount must be positive, got {amount}")
         super().__init__(container.env)
         self.amount = amount
+        self.requested_at = container.env.now
         container._get_waiters.append(self)
         container._trigger()
 
@@ -98,6 +107,7 @@ class Container:
                 if head.amount <= self._level:
                     self._get_waiters.popleft()
                     self._level -= head.amount
+                    _observe_wait(self.env, "store.container_wait", head)
                     head.succeed(head.amount)
                     progressed = True
             if self._put_waiters:
@@ -105,6 +115,7 @@ class Container:
                 if self._level + head.amount <= self._capacity:
                     self._put_waiters.popleft()
                     self._level += head.amount
+                    _observe_wait(self.env, "store.container_wait", head)
                     head.succeed(head.amount)
                     progressed = True
 
@@ -113,21 +124,23 @@ class Container:
 
 
 class StorePut(Event):
-    __slots__ = ("item",)
+    __slots__ = ("item", "requested_at")
 
     def __init__(self, store, item):
         super().__init__(store.env)
         self.item = item
+        self.requested_at = store.env.now
         store._put_waiters.append(self)
         store._trigger()
 
 
 class StoreGet(Event):
-    __slots__ = ("filter",)
+    __slots__ = ("filter", "requested_at")
 
     def __init__(self, store, filter=None):
         super().__init__(store.env)
         self.filter = filter
+        self.requested_at = store.env.now
         store._get_waiters.append(self)
         store._trigger()
 
@@ -175,6 +188,7 @@ class Store:
             while self._put_waiters and len(self.items) < self._capacity:
                 put = self._put_waiters.popleft()
                 self.items.append(put.item)
+                _observe_wait(self.env, "store.put_wait", put)
                 put.succeed()
                 progressed = True
             # Serve gets while items are available.
@@ -185,6 +199,7 @@ class Store:
         served = False
         while self._get_waiters and self.items:
             get = self._get_waiters.popleft()
+            _observe_wait(self.env, "store.get_wait", get)
             get.succeed(self.items.popleft())
             served = True
         return served
@@ -213,6 +228,7 @@ class FilterStore(Store):
                     if get.filter is None or get.filter(item):
                         self.items.remove(item)
                         self._get_waiters.remove(get)
+                        _observe_wait(self.env, "store.get_wait", get)
                         get.succeed(item)
                         served = True
                         again = True

@@ -3,14 +3,21 @@
 A :class:`TraceRecorder` collects timestamped events from a run —
 job lifecycle transitions, plus anything a model chooses to record —
 into a queryable log.  Enable it per system with
-``SystemConfig(trace=True)``; the recorder then appears as
-``system.trace_recorder`` after a run and the examples/tests can render
-or assert on the timeline.
+``SystemConfig(trace=True)`` (or ``telemetry=True`` for the full
+instrumented recorder); it then appears as ``system.trace_recorder``
+after a run and the examples/tests can render or assert on the timeline.
+
+Bounded recorders are **ring buffers**: when ``capacity`` is set and the
+log is full, the *oldest* event is evicted to make room, so the end of
+the run — usually the interesting part — is always retained.  Evictions
+are counted in :attr:`dropped` and surfaced by :meth:`summary`.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
+from itertools import islice
 
 
 @dataclass(frozen=True)
@@ -29,17 +36,19 @@ class TraceEvent:
 
 
 class TraceRecorder:
-    """Append-only, queryable event log."""
+    """Queryable event log; bounded recorders evict oldest-first."""
 
     def __init__(self, capacity=None):
-        self.events = []
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 (or None for unbounded)")
+        self.events = deque(maxlen=capacity)
         self.capacity = capacity
+        #: Events evicted from a full ring buffer (oldest-first).
         self.dropped = 0
 
     def record(self, time, category, subject, **detail):
-        if self.capacity is not None and len(self.events) >= self.capacity:
+        if self.capacity is not None and len(self.events) == self.capacity:
             self.dropped += 1
-            return
         self.events.append(TraceEvent(time, category, str(subject), detail))
 
     def __len__(self):
@@ -64,11 +73,22 @@ class TraceRecorder:
             out[e.category] = out.get(e.category, 0) + 1
         return dict(sorted(out.items()))
 
+    def summary(self):
+        """Totals for run reports: kept, dropped, capacity."""
+        return {
+            "events": len(self.events),
+            "dropped": self.dropped,
+            "capacity": self.capacity,
+        }
+
     def to_text(self, limit=None):
-        events = self.events if limit is None else self.events[:limit]
+        events = (list(self.events) if limit is None
+                  else list(islice(self.events, limit)))
         lines = [str(e) for e in events]
         if limit is not None and len(self.events) > limit:
             lines.append(f"... ({len(self.events) - limit} more)")
+        if self.dropped:
+            lines.append(f"... ({self.dropped} older events dropped)")
         return "\n".join(lines) + ("\n" if lines else "")
 
     # -- hooks -------------------------------------------------------------

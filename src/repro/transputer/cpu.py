@@ -226,15 +226,36 @@ class Cpu:
             yield self.env.timeout(cost)
             self.stats.overhead_time += cost
 
+    # -- telemetry ----------------------------------------------------------
+    def _observe_dispatch(self, req):
+        """First-dispatch latency (submission to first CPU grant)."""
+        tel = self.env.telemetry
+        if tel is not None:
+            tel.metrics.histogram("cpu.dispatch_latency").observe(
+                self.env.now - req.submitted_at
+            )
+
+    def _observe_slice(self, req, start, elapsed, prio):
+        """One executed slice as a span on this node's CPU track."""
+        tel = self.env.telemetry
+        if tel is not None:
+            node = self.node_id if self.node_id is not None else -1
+            tel.slice("cpu.slice", f"node{node}.cpu", start, elapsed,
+                      node=node, prio=prio, tag=req.tag)
+            if prio == "low":
+                tel.metrics.histogram("cpu.quantum_slice").observe(elapsed)
+
     def _run_high(self, req):
         env = self.env
         yield from self._charge_overhead()
         self._running = req
         if req.started_at is None:
             req.started_at = env.now
+            self._observe_dispatch(req)
         req.slices += 1
         self.stats.dispatches += 1
         burst = req.remaining
+        start = env.now
         yield env.timeout(burst)
         req.remaining = 0.0
         req.cpu_time += burst
@@ -242,6 +263,7 @@ class Cpu:
         self.stats.high_time += burst
         self.stats.completed += 1
         self._running = None
+        self._observe_slice(req, start, burst, "high")
         req.succeed(req)
 
     def _run_low(self, req):
@@ -250,6 +272,7 @@ class Cpu:
         self._running = req
         if req.started_at is None:
             req.started_at = env.now
+            self._observe_dispatch(req)
         req.slices += 1
         self.stats.dispatches += 1
 
@@ -281,6 +304,15 @@ class Cpu:
         req.cpu_time += elapsed
         self.stats.busy_time += elapsed
         self.stats.low_time += elapsed
+        if elapsed > 0:
+            self._observe_slice(req, start, elapsed, "low")
+        if preempted:
+            tel = env.telemetry
+            if tel is not None:
+                node = self.node_id if self.node_id is not None else -1
+                tel.metrics.counter("cpu.preemptions").inc()
+                tel.event("cpu.preempt", f"node{node}.cpu", node=node,
+                          tag=req.tag)
 
         if req.remaining <= _EPS:
             req.remaining = 0.0

@@ -75,12 +75,15 @@ class MmuStats:
 class Mmu:
     """Blocking FIFO byte allocator over a node's local memory."""
 
-    def __init__(self, env, capacity_bytes, node_id=None):
+    def __init__(self, env, capacity_bytes, node_id=None, region="mem"):
         if capacity_bytes <= 0:
             raise ValueError("capacity_bytes must be positive")
         self.env = env
         self.capacity = int(capacity_bytes)
         self.node_id = node_id
+        #: Which memory region this allocator manages ("job"/"mailbox"),
+        #: used to name its telemetry instruments.
+        self.region = region
         self._in_use = 0
         self._waiters = deque()  # (request, enqueue_time)
         self.stats = MmuStats()
@@ -128,9 +131,18 @@ class Mmu:
             raise MemoryError_("double free")
         allocation.freed = True
         self._in_use -= allocation.nbytes
+        self._observe_level()
         self._drain()
 
+    def _observe_level(self):
+        tel = self.env.telemetry
+        if tel is not None:
+            tel.metrics.gauge(
+                f"mem.{self.region}.node{self.node_id}.in_use"
+            ).set(self._in_use)
+
     def _drain(self):
+        tel = self.env.telemetry
         while self._waiters:
             req, t0 = self._waiters[0]
             if req.nbytes > self.available:
@@ -141,6 +153,11 @@ class Mmu:
             self.stats.total_allocs += 1
             self.stats.bytes_allocated += req.nbytes
             self.stats.total_wait_time += self.env.now - t0
+            if tel is not None:
+                tel.metrics.histogram(
+                    f"mem.{self.region}.wait"
+                ).observe(self.env.now - t0)
+                self._observe_level()
             req.succeed(Allocation(self, req.nbytes, self.env.now))
 
 
@@ -250,6 +267,11 @@ class BufferPool:
                 self._free[cls] -= 1
                 self.stats.grants += 1
                 self.stats.total_wait_time += self.env.now - t0
+                tel = self.env.telemetry
+                if tel is not None:
+                    tel.metrics.histogram("buf.wait").observe(
+                        self.env.now - t0
+                    )
                 req.succeed(Buffer(self, cls))
                 progressed = True
                 break

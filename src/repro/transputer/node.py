@@ -46,9 +46,10 @@ class TransputerNode:
                 "pool and mailbox region"
             )
         #: Application-data allocator.
-        self.memory = Mmu(env, job_bytes, node_id=node_id)
+        self.memory = Mmu(env, job_bytes, node_id=node_id, region="job")
         #: Delivery/reassembly allocator for arriving messages.
-        self.mailbox_memory = Mmu(env, mailbox_bytes, node_id=node_id)
+        self.mailbox_memory = Mmu(env, mailbox_bytes, node_id=node_id,
+                                  region="mailbox")
         #: Structured transit buffers for store-and-forward forwarding.
         #: Re-sized by the Network builder once the partition topology
         #: (and hence the hop-class count) is known.

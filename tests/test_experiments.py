@@ -1,6 +1,7 @@
 """Tests for the experiment harness: grids, reports, CLI."""
 
 import io
+import json
 
 import pytest
 
@@ -152,6 +153,24 @@ def test_cli_smoke_figure(capsys, tmp_path):
     assert "Figure 4" in out
     assert csv_path.exists()
     assert "figure,app" in csv_path.read_text()
+
+
+def test_cli_telemetry_exports(capsys, tmp_path):
+    trace_path = tmp_path / "trace.json"
+    metrics_path = tmp_path / "metrics.json"
+    assert cli_main(["--figure", "4", "--scale", "smoke",
+                     "--trace-out", str(trace_path),
+                     "--metrics-out", str(metrics_path)]) == 0
+    out = capsys.readouterr().out
+    assert "=== Telemetry (per policy)" in out
+    assert f"wrote {trace_path}" in out
+    assert f"wrote {metrics_path}" in out
+    trace = json.loads(trace_path.read_text())
+    assert trace["traceEvents"]
+    metrics = json.loads(metrics_path.read_text())
+    assert metrics["cells"]
+    for cell in metrics["cells"]:
+        assert {"label", "policy", "summary", "metrics"} <= set(cell)
 
 
 def test_cli_unknown_ablation():

@@ -1,0 +1,181 @@
+"""Tests for the metrics registry and the telemetry no-perturbation
+guarantee."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    MulticomputerSystem,
+    StaticSpaceSharing,
+    SystemConfig,
+    TimeSharing,
+)
+from repro.experiments.serialization import result_to_dict
+from repro.obs import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    log_boundaries,
+)
+from repro.sim import Environment
+from repro.sim.monitoring import TimeWeightedValue
+from repro.workload import standard_batch
+
+from tests.conftest import ideal_transputer
+
+
+# -- instruments ---------------------------------------------------------
+def test_counter_monotone():
+    c = Counter("x")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_time_average_and_series():
+    env = Environment()
+    g = Gauge("g", env=env, initial=2.0, series=True)
+    env.run(until=env.timeout(1.0))
+    g.set(4.0)
+    env.run(until=env.timeout(1.0))
+    # 2.0 for 1s then 4.0 for 1s -> time-average 3.0.
+    assert g.time_average() == pytest.approx(3.0)
+    assert g.samples == [(0.0, 2.0), (1.0, 4.0)]
+
+
+def test_histogram_fixed_buckets_and_merge_exact():
+    a = Histogram("h")
+    b = Histogram("h")
+    for x in (1e-6, 1e-3, 0.5, 2.0):
+        a.observe(x)
+    for x in (1e-6, 10.0, 1e6):  # includes overflow bucket
+        b.observe(x)
+    merged = Histogram("m")
+    merged.merge(a)
+    merged.merge(b)
+    # Exact: bucket counts are sums, totals/extrema combine.
+    both = Histogram("both")
+    for x in (1e-6, 1e-3, 0.5, 2.0, 1e-6, 10.0, 1e6):
+        both.observe(x)
+    assert merged.counts == both.counts
+    assert merged.count == both.count == 7
+    assert merged.total == pytest.approx(both.total)
+    assert merged.min == both.min and merged.max == both.max
+
+
+def test_histogram_merge_rejects_different_boundaries():
+    a = Histogram("a")
+    b = Histogram("b", boundaries=log_boundaries(per_decade=2))
+    with pytest.raises(ValueError):
+        a.merge(b)
+
+
+def test_histogram_quantile_upper_bound():
+    h = Histogram("h")
+    for x in [0.001] * 99 + [100.0]:
+        h.observe(x)
+    assert h.quantile(0.5) >= 0.001
+    assert h.quantile(1.0) == h.max
+
+
+# -- registry ------------------------------------------------------------
+def test_registry_get_or_create_and_type_guard():
+    reg = MetricsRegistry(env=Environment())
+    c1 = reg.counter("jobs")
+    c2 = reg.counter("jobs")
+    assert c1 is c2
+    with pytest.raises(TypeError):
+        reg.gauge("jobs")
+    assert reg.names() == ["jobs"]
+    assert json.dumps(reg.to_dict())  # JSON-serialisable
+
+
+def test_registry_merge_histograms_by_prefix():
+    reg = MetricsRegistry(env=Environment())
+    reg.histogram("mem.job.wait").observe(1.0)
+    reg.histogram("mem.mailbox.wait").observe(2.0)
+    merged = reg.merge_histograms("mem.")
+    assert merged.count == 2
+    assert merged.total == pytest.approx(3.0)
+
+
+def test_null_registry_is_inert():
+    assert not NULL_REGISTRY.enabled
+    NULL_REGISTRY.counter("x").inc()
+    NULL_REGISTRY.gauge("y").set(3)
+    NULL_REGISTRY.histogram("z").observe(1.0)
+    assert len(NULL_REGISTRY) == 0
+    assert NULL_REGISTRY.to_dict() == {}
+    assert NULL_REGISTRY.counter("x").value == 0
+
+
+# -- satellite: TimeWeightedValue guard ---------------------------------
+def test_time_average_rejects_horizon_before_last_change():
+    env = Environment()
+    probe = TimeWeightedValue(env, initial=1.0)
+    env.run(until=env.timeout(2.0))
+    probe.update(5.0)
+    with pytest.raises(ValueError):
+        probe.time_average(until=1.0)
+    # At exactly the last change it is fine.
+    assert probe.time_average(until=2.0) == pytest.approx(1.0)
+
+
+# -- no-perturbation guarantee ------------------------------------------
+def _run(policy_factory, telemetry):
+    cfg = SystemConfig(num_nodes=8, topology="linear",
+                       transputer=ideal_transputer(), telemetry=telemetry)
+    batch = standard_batch("matmul", num_small=4, num_large=2,
+                           small_size=16, large_size=32)
+    return MulticomputerSystem(cfg, policy_factory()).run_batch(batch)
+
+
+def _normalised(result):
+    """result_to_dict with job names replaced by batch-relative indices.
+
+    Job names carry a process-global id counter, so two otherwise
+    identical runs name their jobs differently; everything else must
+    match byte for byte.
+    """
+    data = result_to_dict(result)
+    for i, job in enumerate(data["jobs"]):
+        job["name"] = f"job#{i}"
+    return json.dumps(data, sort_keys=True).encode()
+
+
+@pytest.mark.parametrize("policy_factory", [
+    TimeSharing, lambda: StaticSpaceSharing(4),
+])
+def test_telemetry_does_not_perturb_results(policy_factory):
+    """Instrumented and plain runs serialise byte-identically."""
+    plain = _run(policy_factory, telemetry=False)
+    instrumented = _run(policy_factory, telemetry=True)
+    assert _normalised(plain) == _normalised(instrumented)
+    assert plain.snapshot == instrumented.snapshot
+
+
+def test_telemetry_off_by_default():
+    result = _run(TimeSharing, telemetry=False)
+    assert result is not None
+    assert SystemConfig().telemetry is False
+
+
+def test_telemetry_object_populated_when_enabled():
+    cfg = SystemConfig(num_nodes=4, topology="linear",
+                       transputer=ideal_transputer(), telemetry=True)
+    system = MulticomputerSystem(cfg, TimeSharing())
+    system.run_batch(standard_batch("matmul", num_small=2, num_large=0,
+                                    small_size=16))
+    tel = system.telemetry
+    assert tel is not None
+    assert system.trace_recorder is tel.recorder
+    assert len(tel.recorder) > 0
+    assert tel.metrics.get("cpu.dispatch_latency").count > 0
+    summary = tel.summary()
+    assert summary["events"] == len(tel.recorder)
+    assert "dropped" in summary

@@ -1,0 +1,154 @@
+"""Tests for the Perfetto/JSONL exporters and span derivation."""
+
+import json
+
+import pytest
+
+from repro.core import MulticomputerSystem, SystemConfig, TimeSharing
+from repro.obs import (
+    Telemetry,
+    job_spans,
+    jsonl_lines,
+    node_pid,
+    pid_node,
+    slice_spans,
+    to_perfetto,
+    write_jsonl,
+    write_perfetto,
+)
+from repro.obs.perfetto import CPU_TID, SCHEDULER_PID
+from repro.sim import Environment
+from repro.trace import TraceRecorder
+from repro.workload import standard_batch
+
+from tests.conftest import ideal_transputer
+
+
+def instrumented_run(num_nodes=4):
+    cfg = SystemConfig(num_nodes=num_nodes, topology="linear",
+                       transputer=ideal_transputer(), telemetry=True)
+    system = MulticomputerSystem(cfg, TimeSharing())
+    batch = standard_batch("matmul", num_small=3, num_large=1,
+                           small_size=16, large_size=32)
+    result = system.run_batch(batch)
+    return system, result
+
+
+# -- pid/tid mapping -----------------------------------------------------
+def test_node_pid_round_trip():
+    for node in (0, 1, 5, 15):
+        assert pid_node(node_pid(node)) == node
+    assert pid_node(SCHEDULER_PID) is None
+
+
+def test_perfetto_valid_json_and_schema():
+    system, result = instrumented_run()
+    doc = to_perfetto(system.telemetry)
+    # Round-trips through JSON.
+    doc = json.loads(json.dumps(doc))
+    events = doc["traceEvents"]
+    assert events, "trace must not be empty"
+    for e in events:
+        assert e["ph"] in ("M", "X", "C", "i")
+        assert isinstance(e["pid"], int)
+        if e["ph"] == "X":
+            assert e["dur"] >= 0
+            assert "ts" in e and "name" in e
+
+
+def test_perfetto_ts_monotonic():
+    system, _ = instrumented_run()
+    events = to_perfetto(system.telemetry)["traceEvents"]
+    ts = [e["ts"] for e in events if e["ph"] != "M"]
+    assert ts == sorted(ts)
+    assert all(t >= 0 for t in ts)
+
+
+def test_perfetto_one_process_per_node_with_events():
+    system, _ = instrumented_run(num_nodes=4)
+    events = to_perfetto(system.telemetry)["traceEvents"]
+    names = {(e["pid"]): e["args"]["name"] for e in events
+             if e["ph"] == "M" and e["name"] == "process_name"}
+    for node in range(4):
+        pid = node_pid(node)
+        assert names[pid] == f"node {node}"
+        node_events = [e for e in events
+                       if e["pid"] == pid and e["ph"] != "M"]
+        assert node_events, f"node {node} has no events"
+    assert names[SCHEDULER_PID] == "scheduler"
+
+
+def test_perfetto_tid_mapping_round_trips():
+    """Every emitted (pid, tid) resolves to exactly one thread name."""
+    system, _ = instrumented_run()
+    events = to_perfetto(system.telemetry)["traceEvents"]
+    threads = {}
+    for e in events:
+        if e["ph"] == "M" and e["name"] == "thread_name":
+            key = (e["pid"], e["tid"])
+            assert key not in threads, "duplicate thread metadata"
+            threads[key] = e["args"]["name"]
+    for e in events:
+        if e["ph"] in ("X", "i"):
+            assert (e["pid"], e["tid"]) in threads
+    # The CPU thread of each node process is the fixed tid.
+    for (pid, tid), name in threads.items():
+        if name == "cpu":
+            assert tid == CPU_TID
+
+
+def test_write_perfetto_and_jsonl(tmp_path):
+    system, _ = instrumented_run()
+    trace_path = tmp_path / "t.json"
+    n = write_perfetto(system.telemetry, trace_path)
+    assert n == len(json.loads(trace_path.read_text())["traceEvents"])
+    jsonl_path = tmp_path / "t.jsonl"
+    lines = write_jsonl(system.telemetry, jsonl_path)
+    text = jsonl_path.read_text().splitlines()
+    assert len(text) == lines
+    records = [json.loads(line) for line in text]
+    assert records[-1]["type"] == "summary"
+    assert {"event", "sample"} <= {r["type"] for r in records}
+
+
+def test_jsonl_lines_match_recorder():
+    system, _ = instrumented_run()
+    records = [json.loads(s) for s in jsonl_lines(system.telemetry)]
+    events = [r for r in records if r["type"] == "event"]
+    assert len(events) == len(system.telemetry.recorder)
+
+
+# -- span derivation -----------------------------------------------------
+def test_job_spans_cover_lifecycle():
+    system, result = instrumented_run()
+    spans = job_spans(system.telemetry.recorder)
+    by_track = {}
+    for s in spans:
+        by_track.setdefault(s.track, []).append(s)
+    for job in result.jobs:
+        phases = {s.name: s for s in by_track[job.name]}
+        assert set(phases) == {"queued", "allocated", "executing"}
+        assert phases["queued"].start == job.submitted_at
+        assert phases["executing"].end == job.completed_at
+        # Phases chain without gaps.
+        assert phases["queued"].end == phases["allocated"].start
+        assert phases["allocated"].end == phases["executing"].start
+
+
+def test_job_spans_tolerate_truncated_log():
+    rec = TraceRecorder()
+    rec.record(1.0, "job.dispatched", "job0")
+    rec.record(2.0, "job.started", "job0")
+    rec.record(3.0, "job.completed", "job0")
+    spans = job_spans(rec)
+    assert [s.name for s in spans] == ["allocated", "executing"]
+
+
+def test_slice_spans_widen_dur_events():
+    env = Environment()
+    tel = Telemetry(env)
+    tel.slice("cpu.slice", "node0.cpu", 1.0, 0.5, node=0, prio="low",
+              tag=7)
+    (span,) = slice_spans(tel.recorder, "cpu.slice")
+    assert span.start == 1.0 and span.end == pytest.approx(1.5)
+    assert span.args["tag"] == 7

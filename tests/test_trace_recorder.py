@@ -39,6 +39,38 @@ def test_recorder_capacity_bound():
     assert rec.dropped == 3
 
 
+def test_recorder_ring_evicts_oldest_first():
+    """A full recorder keeps the *newest* events (the end of the run)."""
+    rec = TraceRecorder(capacity=3)
+    for i in range(10):
+        rec.record(float(i), "c", f"s{i}")
+    assert [e.time for e in rec] == [7.0, 8.0, 9.0]
+    assert [e.subject for e in rec] == ["s7", "s8", "s9"]
+    assert rec.dropped == 7
+
+
+def test_recorder_summary_and_dropped_in_text():
+    rec = TraceRecorder(capacity=2)
+    for i in range(4):
+        rec.record(float(i), "c", "s")
+    assert rec.summary() == {"events": 2, "dropped": 2, "capacity": 2}
+    assert "2 older events dropped" in rec.to_text()
+
+
+def test_recorder_unbounded_never_drops():
+    rec = TraceRecorder()
+    for i in range(100):
+        rec.record(float(i), "c", "s")
+    assert len(rec) == 100
+    assert rec.dropped == 0
+    assert rec.summary()["capacity"] is None
+
+
+def test_recorder_rejects_nonpositive_capacity():
+    with pytest.raises(ValueError):
+        TraceRecorder(capacity=0)
+
+
 def test_trace_event_rendering():
     e = TraceEvent(1.25, "job.started", "job1", {"size": "small"})
     s = str(e)
