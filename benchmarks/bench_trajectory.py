@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Benchmark trajectory: record this build's performance, gate on drift.
+
+Runs the four paper-figure scenarios (instrumented), writes a
+schema-versioned ``BENCH_<date>.json`` record, and — when given a
+previous record via ``--compare-to`` — fails with exit status 1 if
+wall-clock regressed by more than the tolerance (default 20%,
+calibration-normalised across hosts when possible).
+
+Examples::
+
+    PYTHONPATH=src python benchmarks/bench_trajectory.py --scale smoke
+    PYTHONPATH=src python benchmarks/bench_trajectory.py \
+        --scale smoke --compare-to results/BENCH_baseline.json
+
+Unlike the ``bench_*`` pytest-style microbenchmarks in this directory,
+this script tracks the *trajectory* of whole-figure runs across
+commits; CI runs it on every push (see ``.github/workflows/ci.yml``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def parse_args(argv):
+    parser = argparse.ArgumentParser(
+        description="Run the figure scenarios and record a "
+                    "BENCH_<date>.json performance document.",
+    )
+    parser.add_argument(
+        "--scale", choices=("paper", "smoke"), default="smoke",
+        help="problem-size scaling (default: smoke)",
+    )
+    parser.add_argument(
+        "--figures", default="3,4,5,6",
+        help="comma-separated figure numbers to run (default: 3,4,5,6)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="output path (default: BENCH_<YYYY-MM-DD>.json)",
+    )
+    parser.add_argument(
+        "--compare-to", default=None, metavar="PATH",
+        help="previous BENCH json to gate against",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.20,
+        help="allowed fractional wall-clock regression (default: 0.20)",
+    )
+    parser.add_argument(
+        "--no-calibration", action="store_true",
+        help="skip the host-speed calibration loop",
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv=None):
+    args = parse_args(argv if argv is not None else sys.argv[1:])
+    from repro.experiments.bench_json import (
+        bench_document,
+        calibrate,
+        compare,
+        load_bench,
+        run_scenarios,
+        write_bench,
+    )
+
+    figures = tuple(int(f) for f in args.figures.split(",") if f.strip())
+    calibration = None if args.no_calibration else calibrate()
+    if calibration is not None:
+        print(f"calibration: {calibration:.4f}s")
+
+    scenarios = run_scenarios(scale_name=args.scale, figures=figures)
+    for s in scenarios:
+        rts = ", ".join(f"{p}={rt:.3f}" for p, rt in s["mean_rt"].items())
+        print(f"figure {s['figure']}: {s['wall_s']:.2f}s wall, "
+              f"{s['events']} events ({s['events_per_sec']:.0f}/s), "
+              f"mean RT {rts}")
+
+    doc = bench_document(scenarios, scale_name=args.scale,
+                         calibration=calibration)
+    out = args.out or f"BENCH_{time.strftime('%Y-%m-%d')}.json"
+    write_bench(doc, out)
+    print(f"wrote {out} (total wall {doc['total_wall_s']:.2f}s)")
+
+    if args.compare_to:
+        baseline = load_bench(args.compare_to)
+        ok, lines = compare(baseline, doc, tolerance=args.tolerance)
+        for line in lines:
+            print(line)
+        if not ok:
+            return 1
+        print("benchmark trajectory OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

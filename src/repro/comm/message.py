@@ -16,9 +16,10 @@ class Message:
     """
 
     __slots__ = ("msg_id", "src", "dst", "nbytes", "tag", "payload",
-                 "sent_at", "delivered_at", "hops")
+                 "sent_at", "delivered_at", "hops", "src_proc", "dst_proc")
 
-    def __init__(self, src, dst, nbytes, tag=None, payload=None):
+    def __init__(self, src, dst, nbytes, tag=None, payload=None,
+                 src_proc=None, dst_proc=None):
         if nbytes < 0:
             raise ValueError("nbytes must be >= 0")
         self.msg_id = next(_msg_ids)
@@ -31,6 +32,19 @@ class Message:
         self.delivered_at = None
         #: Hop count of the route the message took (0 for self-messages).
         self.hops = None
+        #: Job-local process indices of the communicating endpoints
+        #: (telemetry/critical-path attribution; None outside a job).
+        self.src_proc = src_proc
+        self.dst_proc = dst_proc
+
+    @property
+    def job_id(self):
+        """Owning job id for job-scoped tags ``(job_id, ...)``, or None."""
+        if isinstance(self.tag, tuple) and self.tag:
+            owner = self.tag[0]
+            if isinstance(owner, int):
+                return owner
+        return None
 
     @property
     def latency(self):

@@ -120,16 +120,20 @@ class Network:
             )
 
     # -- public API -----------------------------------------------------
-    def send(self, src, dst, nbytes, tag=None, payload=None):
+    def send(self, src, dst, nbytes, tag=None, payload=None,
+             src_proc=None, dst_proc=None):
         """Asynchronously send a message; returns the delivery event.
 
         The event's value is the :class:`Message` (with timing fields
         filled in).  The caller need not wait on it — mailbox receive on
         the destination is the usual synchronisation point.
+        ``src_proc``/``dst_proc`` carry the job-local process indices of
+        the endpoints for telemetry attribution.
         """
         self._check_member(src)
         self._check_member(dst)
-        message = Message(src, dst, nbytes, tag=tag, payload=payload)
+        message = Message(src, dst, nbytes, tag=tag, payload=payload,
+                          src_proc=src_proc, dst_proc=dst_proc)
         return self.env.process(
             self._transport(message), name=f"msg{message.msg_id}"
         )
@@ -176,7 +180,9 @@ class Network:
             # same mailbox memory demand (see paper, Section 5.2).
             message.hops = 0
             self.stats.self_messages += 1
-            alloc = yield dst_node.mailbox_memory.alloc(max(message.nbytes, 1))
+            alloc = yield dst_node.mailbox_memory.alloc(
+                max(message.nbytes, 1), owner=message.job_id
+            )
             yield dst_node.cpu.execute(
                 cfg.hop_cpu_cost(message.nbytes), HIGH, tag="comm"
             )
@@ -194,7 +200,9 @@ class Network:
         # flow control — a sender stalls while the destination is full,
         # which is the paper's "a message can suffer a delay if [a]
         # processor delays allocation of memory for the mailbox".
-        alloc = yield dst_node.mailbox_memory.alloc(max(message.nbytes, 1))
+        alloc = yield dst_node.mailbox_memory.alloc(
+            max(message.nbytes, 1), owner=message.job_id
+        )
 
         packets = fragment(message, cfg.packet_bytes)
         done = [
@@ -220,7 +228,9 @@ class Network:
                 # reserved reassembly region — no transit buffer needed.
                 slot = None
             else:
-                slot = yield v_node.buffers.acquire(hop)
+                slot = yield v_node.buffers.acquire(
+                    hop, owner=packet.message.job_id
+                )
             link = self.nodes[u].link_to(v)
             tel = env.telemetry
             if tel is not None:
@@ -256,7 +266,13 @@ class Network:
         self.stats.total_latency += message.delivered_at - message.sent_at
         tel = self.env.telemetry
         if tel is not None:
+            latency = message.delivered_at - message.sent_at
             tel.metrics.counter("net.messages").inc()
-            tel.metrics.histogram("net.msg_latency").observe(
-                message.delivered_at - message.sent_at
-            )
+            tel.metrics.histogram("net.msg_latency").observe(latency)
+            # One interval per message for the causal profiler: which
+            # job was in flight, between which of its processes.
+            tel.slice("net.msg", f"msg{message.msg_id}",
+                      message.sent_at, latency,
+                      src=message.src, dst=message.dst,
+                      src_proc=message.src_proc, dst_proc=message.dst_proc,
+                      job=message.job_id, nbytes=message.nbytes)

@@ -51,12 +51,14 @@ class WormholeNetwork:
         for node_id in topology.nodes:
             self.nodes[node_id].mailbox = Mailbox(env, self.nodes[node_id])
 
-    def send(self, src, dst, nbytes, tag=None, payload=None):
+    def send(self, src, dst, nbytes, tag=None, payload=None,
+             src_proc=None, dst_proc=None):
         """Asynchronously send a message; returns the delivery event."""
         for n in (src, dst):
             if n not in self.nodes:
                 raise ValueError(f"node {n!r} is not part of this network")
-        message = Message(src, dst, nbytes, tag=tag, payload=payload)
+        message = Message(src, dst, nbytes, tag=tag, payload=payload,
+                          src_proc=src_proc, dst_proc=dst_proc)
         return self.env.process(
             self._transport(message), name=f"whmsg{message.msg_id}"
         )
@@ -84,7 +86,9 @@ class WormholeNetwork:
         if message.src == message.dst:
             message.hops = 0
             self.stats.self_messages += 1
-            alloc = yield dst_node.mailbox_memory.alloc(max(message.nbytes, 1))
+            alloc = yield dst_node.mailbox_memory.alloc(
+                max(message.nbytes, 1), owner=message.job_id
+            )
             yield dst_node.cpu.execute(cfg.message_overhead, HIGH, tag="comm")
             self._deliver(message, alloc)
             return message
@@ -99,7 +103,9 @@ class WormholeNetwork:
         # arrival to tail departure, and releases them; packet-sized
         # worms keep channel-holding times short, as real wormhole
         # implementations do.
-        alloc = yield dst_node.mailbox_memory.alloc(max(message.nbytes, 1))
+        alloc = yield dst_node.mailbox_memory.alloc(
+            max(message.nbytes, 1), owner=message.job_id
+        )
         remaining = max(message.nbytes, 1)
         while remaining > 0:
             worm = min(remaining, cfg.packet_bytes)
@@ -142,3 +148,8 @@ class WormholeNetwork:
             tel.slice("link.transfer", f"worm{message.src}->{message.dst}",
                       message.sent_at, latency, node=message.src,
                       dst=message.dst, nbytes=message.nbytes, wait=0.0)
+            tel.slice("net.msg", f"msg{message.msg_id}",
+                      message.sent_at, latency,
+                      src=message.src, dst=message.dst,
+                      src_proc=message.src_proc, dst_proc=message.dst_proc,
+                      job=message.job_id, nbytes=message.nbytes)

@@ -48,7 +48,8 @@ class ExecutionContext:
         """
         node = self.node(process_index)
         seconds = self.config.ops_time(ops)
-        return node.local_scheduler.execute(self.job, seconds, self.quantum)
+        return node.local_scheduler.execute(self.job, seconds, self.quantum,
+                                            proc=process_index)
 
     # -- communication -----------------------------------------------------
     def _scoped(self, tag):
@@ -62,6 +63,8 @@ class ExecutionContext:
             nbytes,
             tag=self._scoped(tag),
             payload=payload,
+            src_proc=src_index,
+            dst_proc=dst_index,
         )
 
     def recv(self, process_index, tag):
@@ -101,7 +104,9 @@ class ExecutionContext:
         finishes (see :meth:`release_all`); explicit ``free`` through the
         returned allocation is also fine for phase-structured programs.
         """
-        ev = self.node(process_index).memory.alloc(nbytes)
+        ev = self.node(process_index).memory.alloc(
+            nbytes, owner=self.job.job_id
+        )
         ev.callbacks.append(self._track)
         return ev
 

@@ -30,16 +30,18 @@ class LocalScheduler:
     def node_id(self):
         return self.node.node_id
 
-    def execute(self, job, work_seconds, quantum=None):
+    def execute(self, job, work_seconds, quantum=None, proc=None):
         """Run ``work_seconds`` of a job process's computation.
 
         Returns the completion event.  ``quantum=None`` leaves the
         hardware default (static space-sharing: the job is alone in its
         partition so the quantum value is immaterial); time-sharing
-        policies pass their RR-job quantum.
+        policies pass their RR-job quantum.  ``proc`` is the job-local
+        process index, threaded through for telemetry attribution only.
         """
         req = self.node.cpu.execute(
-            work_seconds, priority=LOW, quantum=quantum, tag=job.job_id
+            work_seconds, priority=LOW, quantum=quantum, tag=job.job_id,
+            proc=proc,
         )
         tel = self.node.env.telemetry
         if tel is not None:

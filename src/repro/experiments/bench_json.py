@@ -1,0 +1,200 @@
+"""Benchmark-trajectory harness: schema-versioned performance records.
+
+Runs the four paper-figure scenarios at a chosen scale, records for each
+what CI needs to spot a performance regression — wall-clock seconds,
+trace events per second of host time, and mean response time per policy
+— and reads/writes those records as ``BENCH_<date>.json`` documents so
+consecutive runs can be compared mechanically.
+
+Cross-machine comparability: absolute wall-clock on two different hosts
+is meaningless, so every document embeds a ``calibration`` score — the
+best-of-three time of a fixed pure-Python integer loop.  When both the
+baseline and the current document carry one, :func:`compare` gates on
+*normalised* wall-clock (``wall / calibration``), which cancels the
+host's single-core speed; otherwise it falls back to raw seconds.
+
+Only wall-clock regressions fail the comparison.  Mean response time is
+*simulated* time — it must not drift at all between runs of the same
+code (the simulator is deterministic), so drift is reported loudly but
+treated as a correctness signal for humans, not a perf gate.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+#: Document schema identifier; bump on incompatible layout changes.
+SCHEMA = "repro-bench/1"
+
+#: The paper-figure scenarios the trajectory tracks.
+DEFAULT_FIGURES = (3, 4, 5, 6)
+
+_CALIBRATION_N = 2_000_000
+
+
+def calibrate(repeats=3):
+    """Host-speed score: best-of-N seconds for a fixed integer loop.
+
+    Pure Python, allocation-free, no imports — approximates the
+    single-core interpreter throughput that dominates the simulator's
+    wall-clock.  Smaller is faster.
+    """
+    best = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        acc = 0
+        for i in range(_CALIBRATION_N):
+            acc += i & 7
+        elapsed = time.perf_counter() - t0
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def run_scenarios(scale_name="smoke", figures=DEFAULT_FIGURES):
+    """Run the figure scenarios instrumented; returns scenario dicts.
+
+    Each dict records the figure, wall-clock seconds, total trace
+    events (kept + dropped — the true event volume), host events/sec,
+    and mean response time per policy.
+    """
+    from repro.experiments.config import ExperimentScale, figure_spec
+    from repro.experiments.runner import run_figure
+
+    scale = (ExperimentScale.paper() if scale_name == "paper"
+             else ExperimentScale.smoke())
+    scenarios = []
+    for number in figures:
+        spec = figure_spec(number)
+        sink = []
+        t0 = time.perf_counter()
+        cells = run_figure(spec, scale, telemetry_sink=sink)
+        wall = time.perf_counter() - t0
+        events = sum(len(tel.recorder) + tel.recorder.dropped
+                     for _label, _policy, tel in sink)
+        mean_rt = {}
+        counts = {}
+        for cell in cells:
+            mean_rt[cell.policy] = (
+                mean_rt.get(cell.policy, 0.0) + cell.mean_response_time
+            )
+            counts[cell.policy] = counts.get(cell.policy, 0) + 1
+        for policy in mean_rt:
+            mean_rt[policy] /= counts[policy]
+        scenarios.append({
+            "figure": number,
+            "title": spec.title,
+            "cells": len(cells),
+            "wall_s": wall,
+            "events": events,
+            "events_per_sec": events / wall if wall > 0 else 0.0,
+            "mean_rt": dict(sorted(mean_rt.items())),
+        })
+    return scenarios
+
+
+def bench_document(scenarios, scale_name="smoke", calibration=None,
+                   date=None):
+    """Assemble the schema-versioned benchmark document."""
+    return {
+        "schema": SCHEMA,
+        "date": date or time.strftime("%Y-%m-%d"),
+        "scale": scale_name,
+        "calibration": calibration,
+        "total_wall_s": sum(s["wall_s"] for s in scenarios),
+        "scenarios": scenarios,
+    }
+
+
+def write_bench(doc, path):
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_bench(path):
+    """Load and validate a benchmark document."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported benchmark schema "
+            f"{doc.get('schema')!r} (expected {SCHEMA!r})"
+        )
+    for key in ("date", "scale", "total_wall_s", "scenarios"):
+        if key not in doc:
+            raise ValueError(f"{path}: benchmark document missing {key!r}")
+    for s in doc["scenarios"]:
+        for key in ("figure", "wall_s", "events", "events_per_sec",
+                    "mean_rt"):
+            if key not in s:
+                raise ValueError(
+                    f"{path}: scenario record missing {key!r}"
+                )
+    return doc
+
+
+def _normalised_wall(doc):
+    cal = doc.get("calibration")
+    if cal:
+        return doc["total_wall_s"] / cal, True
+    return doc["total_wall_s"], False
+
+
+def compare(baseline, current, tolerance=0.20):
+    """Compare two benchmark documents; returns (ok, report lines).
+
+    Fails (``ok=False``) when the current total wall-clock exceeds the
+    baseline by more than ``tolerance`` (fractional), using calibrated
+    normalisation when both documents carry a calibration score.
+    Mean-response-time drift between identical scales is reported but
+    never fails the comparison — simulated time is a determinism
+    concern, not a performance one.
+    """
+    lines = []
+    base_wall, base_norm = _normalised_wall(baseline)
+    cur_wall, cur_norm = _normalised_wall(current)
+    normalised = base_norm and cur_norm
+    if not normalised:
+        base_wall = baseline["total_wall_s"]
+        cur_wall = current["total_wall_s"]
+    unit = "normalised" if normalised else "raw seconds"
+    ratio = cur_wall / base_wall if base_wall > 0 else float("inf")
+    lines.append(
+        f"wall-clock ({unit}): baseline {base_wall:.3f}, "
+        f"current {cur_wall:.3f}, ratio {ratio:.3f} "
+        f"(tolerance {1 + tolerance:.2f})"
+    )
+    ok = ratio <= 1.0 + tolerance
+    if not ok:
+        lines.append(
+            f"FAIL: wall-clock regressed {100 * (ratio - 1):.1f}% "
+            f"(> {100 * tolerance:.0f}% allowed)"
+        )
+
+    if baseline.get("scale") == current.get("scale"):
+        base_rt = {s["figure"]: s["mean_rt"]
+                   for s in baseline["scenarios"]}
+        for s in current["scenarios"]:
+            ref = base_rt.get(s["figure"])
+            if ref is None:
+                continue
+            for policy, rt in s["mean_rt"].items():
+                old = ref.get(policy)
+                if old is None:
+                    continue
+                if abs(rt - old) > 1e-9 * max(1.0, abs(old)):
+                    lines.append(
+                        f"NOTE: figure {s['figure']} {policy} mean RT "
+                        f"drifted {old:.6f} -> {rt:.6f} (simulated "
+                        f"time changed; expected only if the model "
+                        f"changed)"
+                    )
+    else:
+        lines.append(
+            f"scales differ ({baseline.get('scale')} vs "
+            f"{current.get('scale')}): RT drift check skipped"
+        )
+    return ok, lines

@@ -8,6 +8,8 @@ Examples::
     python -m repro.experiments --figure 4 --csv fig4.csv
     python -m repro.experiments --figure 3 --trace-out run.perfetto.json \
         --metrics-out metrics.json
+    python -m repro.experiments profile --figure 4 --scale smoke \
+        --attrib-out attrib.json --flame-out profile.collapsed
 """
 
 from __future__ import annotations
@@ -21,6 +23,7 @@ from repro.experiments.ablations import ALL_ABLATIONS
 from repro.experiments.config import ExperimentScale, figure_spec
 from repro.experiments.report import (
     format_ablation,
+    format_attribution_summary,
     format_grid,
     format_telemetry_summary,
     grid_to_csv,
@@ -33,6 +36,12 @@ def _parse_args(argv):
         prog="repro-experiments",
         description="Regenerate the figures and ablations of Chan, "
                     "Dandamudi & Majumdar (IPPS 1997).",
+    )
+    parser.add_argument(
+        "command", nargs="?", choices=("profile",), default=None,
+        help="'profile' runs the causal profiler over the selected "
+             "figures: wait-state attribution per policy, critical "
+             "paths, and optional flame/attribution exports",
     )
     parser.add_argument(
         "--figure", help="figure number 3-6, or 'all'", default=None
@@ -59,6 +68,16 @@ def _parse_args(argv):
         help="record telemetry and write per-cell metric summaries as JSON",
     )
     parser.add_argument(
+        "--attrib-out", default=None, metavar="PATH",
+        help="(profile) write the full per-job wait-state attribution "
+             "and critical paths as JSON",
+    )
+    parser.add_argument(
+        "--flame-out", default=None, metavar="PATH",
+        help="(profile) write critical paths as a collapsed-stack file "
+             "(open with speedscope or flamegraph.pl)",
+    )
+    parser.add_argument(
         "--chart", action="store_true",
         help="also render figures as ASCII bar charts",
     )
@@ -75,10 +94,12 @@ def _parse_args(argv):
         help="run the closed-form validation report",
     )
     args = parser.parse_args(argv)
+    if args.command == "profile" and args.figure is None:
+        args.figure = "4"  # the paper's central comparison
     if not (args.figure or args.ablation or args.sensitivity
             or args.topologies or args.validate):
-        parser.error("pass --figure, --ablation, --sensitivity, "
-                     "--topologies and/or --validate")
+        parser.error("pass a command (profile), --figure, --ablation, "
+                     "--sensitivity, --topologies and/or --validate")
     return args
 
 
@@ -87,7 +108,9 @@ def _run_figures(args, out=None):
     scale = (ExperimentScale.paper() if args.scale == "paper"
              else ExperimentScale.smoke())
     numbers = [3, 4, 5, 6] if args.figure == "all" else [int(args.figure)]
-    telemetry_wanted = bool(args.trace_out or args.metrics_out)
+    profiling = (args.command == "profile" or args.attrib_out
+                 or args.flame_out)
+    telemetry_wanted = bool(args.trace_out or args.metrics_out or profiling)
     all_cells = []
     all_telemetry = []
     for number in numbers:
@@ -106,6 +129,8 @@ def _run_figures(args, out=None):
               file=out)
         if sink:
             print(format_telemetry_summary(sink), file=out)
+            if profiling:
+                print(format_attribution_summary(sink), file=out)
             all_telemetry.extend(sink)
         if args.chart:
             from repro.trace import render_series
@@ -124,6 +149,8 @@ def _run_figures(args, out=None):
         print(f"wrote {args.csv}", file=out)
     if telemetry_wanted:
         _write_telemetry(args, all_telemetry, out)
+    if profiling and (args.attrib_out or args.flame_out):
+        _write_profile(args, all_telemetry, out)
 
 
 def _write_telemetry(args, entries, out):
@@ -157,6 +184,42 @@ def _write_telemetry(args, entries, out):
         dropped = sum(c["summary"]["dropped"] for c in doc["cells"])
         print(f"wrote {args.metrics_out} ({len(doc['cells'])} cells, "
               f"{dropped} events dropped overall)", file=out)
+
+
+def _write_profile(args, entries, out):
+    """Export the causal profile (attribution JSON + collapsed stacks)."""
+    from repro.obs import collapsed_lines, profile_run
+
+    if not entries:
+        print("no telemetry recorded to profile", file=out)
+        return
+    profiles = [(label, policy, profile_run(tel))
+                for label, policy, tel in entries]
+    if args.attrib_out:
+        doc = {
+            "schema": "repro-profile/1",
+            "cells": [
+                {"label": label, "policy": policy, **prof.to_dict()}
+                for label, policy, prof in profiles
+            ],
+        }
+        with open(args.attrib_out, "w") as fh:
+            json.dump(doc, fh, indent=1)
+        jobs = sum(len(p.jobs) for _l, _p, p in profiles)
+        print(f"wrote {args.attrib_out} ({len(profiles)} cells, "
+              f"{jobs} jobs attributed)", file=out)
+    if args.flame_out:
+        lines = []
+        for label, policy, prof in profiles:
+            lines.extend(
+                collapsed_lines(prof.paths, prefix=f"{label}:{policy}")
+            )
+        with open(args.flame_out, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(lines))
+            if lines:
+                fh.write("\n")
+        print(f"wrote {args.flame_out} ({len(lines)} stacks; open with "
+              f"speedscope or flamegraph.pl)", file=out)
 
 
 def _run_ablations(args, out=None):

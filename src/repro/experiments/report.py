@@ -119,6 +119,51 @@ def format_telemetry_summary(entries, title="=== Telemetry (per policy)"):
     return format_ablation(rows, columns, title=title)
 
 
+def attribution_policy_rows(entries):
+    """Wait-state attribution aggregated per policy: (rows, columns).
+
+    ``entries`` is the runner's ``telemetry_sink`` list; each cell's
+    trace is profiled (:func:`repro.obs.profile.profile_run`) and the
+    per-job bucket seconds are pooled per policy, reported as fractions
+    of total response time so policies with different absolute scales
+    compare directly.
+    """
+    from repro.obs.profile import bucket_names, profile_run
+
+    buckets = bucket_names()
+    agg = {}
+    for _label, policy, tel in entries:
+        prof = profile_run(tel)
+        row = agg.setdefault(policy, {
+            "policy": policy, "jobs": 0, "_rt": 0.0,
+            **{f"_{b}": 0.0 for b in buckets},
+        })
+        row["jobs"] += len(prof.jobs)
+        row["_rt"] += sum(j.response_time for j in prof.jobs)
+        for b, v in prof.bucket_totals().items():
+            row[f"_{b}"] = row.get(f"_{b}", 0.0) + v
+    rows = []
+    for policy in sorted(agg):
+        row = agg[policy]
+        rt = row.pop("_rt")
+        row["mean_rt"] = rt / row["jobs"] if row["jobs"] else 0.0
+        for b in buckets:
+            v = row.pop(f"_{b}")
+            row[b] = v / rt if rt > 0 else 0.0
+        rows.append(row)
+    columns = ["policy", "jobs", "mean_rt", *buckets]
+    return rows, columns
+
+
+def format_attribution_summary(
+    entries,
+    title="=== Wait-state attribution (fractions of response time)",
+):
+    """Render the per-policy wait-state attribution table."""
+    rows, columns = attribution_policy_rows(entries)
+    return format_ablation(rows, columns, title=title)
+
+
 def format_ablation(rows, columns, title=""):
     """Render ablation rows (list of dicts) as an aligned table."""
     out = io.StringIO()

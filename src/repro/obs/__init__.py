@@ -31,29 +31,61 @@ from repro.obs.perfetto import (
     to_perfetto,
     write_perfetto,
 )
-from repro.obs.spans import Span, job_spans, slice_spans
+from repro.obs.profile import (
+    BUCKETS,
+    CpSegment,
+    CriticalPath,
+    JobProfile,
+    Profile,
+    bucket_names,
+    collapsed_lines,
+    profile_events,
+    profile_run,
+    write_collapsed,
+)
+from repro.obs.spans import (
+    JOB_PHASES,
+    Span,
+    job_spans,
+    process_spans,
+    register_phase,
+    slice_spans,
+)
 from repro.obs.telemetry import Telemetry, attach, registry_of
 
 __all__ = [
+    "BUCKETS",
     "Counter",
+    "CpSegment",
+    "CriticalPath",
     "DEFAULT_BOUNDARIES",
     "Gauge",
     "Histogram",
+    "JOB_PHASES",
+    "JobProfile",
     "MetricsRegistry",
     "NULL_REGISTRY",
     "NullRegistry",
+    "Profile",
     "Span",
     "Telemetry",
     "attach",
+    "bucket_names",
+    "collapsed_lines",
     "job_spans",
     "jsonl_lines",
     "jsonl_records",
     "log_boundaries",
     "node_pid",
     "pid_node",
+    "process_spans",
+    "profile_events",
+    "profile_run",
+    "register_phase",
     "registry_of",
     "slice_spans",
     "to_perfetto",
+    "write_collapsed",
     "write_jsonl",
     "write_perfetto",
 ]

@@ -296,6 +296,45 @@ class MetricsRegistry:
             merged.merge(inst)
         return merged
 
+    def merge(self, other):
+        """In-place merge of another registry (cross-run aggregation).
+
+        Counters add; histograms merge exactly, which **requires**
+        identical bucket geometry — a same-named histogram pair with
+        different boundaries raises ``ValueError`` rather than
+        producing silently wrong percentiles.  A name registered as
+        different instrument kinds raises ``TypeError``.  Gauges are
+        *skipped*: a time-weighted level from a different run has no
+        meaningful sum (documented limitation, not an error).
+        """
+        for name, inst in other._instruments.items():
+            if isinstance(inst, Gauge):
+                continue
+            mine = self._instruments.get(name)
+            if mine is None:
+                if isinstance(inst, Counter):
+                    self.counter(name).inc(inst.value)
+                else:
+                    self.histogram(
+                        name, boundaries=inst.boundaries
+                    ).merge(inst)
+                continue
+            if isinstance(inst, Counter):
+                if not isinstance(mine, Counter):
+                    raise TypeError(
+                        f"metric {name!r} is a {type(mine).__name__} "
+                        f"here but a Counter in the merged registry"
+                    )
+                mine.inc(inst.value)
+            else:
+                if not isinstance(mine, Histogram):
+                    raise TypeError(
+                        f"metric {name!r} is a {type(mine).__name__} "
+                        f"here but a Histogram in the merged registry"
+                    )
+                mine.merge(inst)
+        return self
+
 
 class _NullInstrument:
     """Shared do-nothing instrument backing :class:`NullRegistry`."""
@@ -377,6 +416,9 @@ class NullRegistry:
 
     def merge_histograms(self, prefix):
         return None
+
+    def merge(self, other):
+        return self
 
 
 #: Shared disabled registry (safe: it holds no state).

@@ -22,7 +22,15 @@ from __future__ import annotations
 import json
 import re
 
-from repro.obs.spans import job_spans
+from repro.obs.spans import job_spans, process_spans
+
+#: Causal-profiler input categories (see :mod:`repro.obs.profile`).
+#: Dense interval streams — omitted from the default export to keep
+#: traces lean; ``to_perfetto(..., process_tracks=True)`` renders the
+#: per-process ones as spans instead.
+_PROFILE_CATEGORIES = frozenset(
+    {"cpu.wait", "net.msg", "mem.wait", "buf.wait"}
+)
 
 #: Process id of the synthetic "scheduler" process (job spans, global
 #: counters, uncategorised instants).
@@ -81,11 +89,17 @@ class _TidTable:
         return tid
 
 
-def to_perfetto(telemetry):
+def to_perfetto(telemetry, process_tracks=False):
     """Convert a :class:`~repro.obs.telemetry.Telemetry` to trace JSON.
 
     Returns the ``{"traceEvents": [...]}`` dict; events are sorted by
-    timestamp (metadata first), so ``ts`` is monotonic.
+    timestamp (metadata first), so ``ts`` is monotonic.  The recorder's
+    kept/dropped/capacity totals are embedded as ``otherData`` (shown
+    under trace info in ui.perfetto.dev), and a truncated ring buffer
+    additionally gets a visible "trace truncated" instant at the start
+    of the retained window.  ``process_tracks=True`` adds one track per
+    job process carrying its ``executing``/``preempted`` spans (off by
+    default: a per-quantum track set can dwarf the hardware tracks).
     """
     events = []
     tids = _TidTable()
@@ -137,6 +151,8 @@ def to_perfetto(telemetry):
             })
         elif e.category.startswith("job."):
             continue  # handled below via span derivation
+        elif e.category in _PROFILE_CATEGORIES:
+            continue  # profiler inputs; see process_tracks
         else:
             tid = tids.tid(SCHEDULER_PID, "events")
             events.append({
@@ -163,6 +179,31 @@ def to_perfetto(telemetry):
                 "s": "t", "args": {},
             })
 
+    if process_tracks:
+        for span in process_spans(recorded):
+            tid = tids.tid(SCHEDULER_PID, span.track)
+            events.append({
+                "ph": "X", "name": span.name, "cat": "process",
+                "pid": SCHEDULER_PID, "tid": tid,
+                "ts": _us(span.start), "dur": _us(span.duration),
+                "args": {k: str(v) for k, v in span.args.items()},
+            })
+
+    summary = telemetry.recorder.summary()
+    if summary["dropped"] and recorded:
+        # Make ring-buffer truncation visible on the timeline itself,
+        # not just in trace info: a global instant where the retained
+        # window begins.
+        events.append({
+            "ph": "i",
+            "name": (f"trace truncated: {summary['dropped']} older "
+                     f"events dropped"),
+            "cat": "trace", "pid": SCHEDULER_PID,
+            "tid": tids.tid(SCHEDULER_PID, "events"),
+            "ts": _us(min(e.time for e in recorded)), "s": "g",
+            "args": {k: str(v) for k, v in summary.items()},
+        })
+
     for name, gauge in sorted(telemetry.metrics.gauges().items()):
         if not gauge.samples:
             continue
@@ -179,12 +220,18 @@ def to_perfetto(telemetry):
 
     events.sort(key=lambda ev: (ev["ts"], ev["pid"], ev.get("tid", 0)))
     meta = [process_meta[p] for p in sorted(process_meta)] + tids.meta
-    return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+    return {
+        "traceEvents": meta + events,
+        "displayTimeUnit": "ms",
+        # Surfaced by ui.perfetto.dev under "info and stats", so a
+        # truncated recorder is never mistaken for a complete log.
+        "otherData": {k: str(v) for k, v in summary.items()},
+    }
 
 
-def write_perfetto(telemetry, path):
+def write_perfetto(telemetry, path, process_tracks=False):
     """Write the trace JSON to ``path``; returns the event count."""
-    doc = to_perfetto(telemetry)
+    doc = to_perfetto(telemetry, process_tracks=process_tracks)
     with open(path, "w") as fh:
         json.dump(doc, fh, separators=(",", ":"))
     return len(doc["traceEvents"])

@@ -12,11 +12,29 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 #: Lifecycle phases in order: (span name, start event, end event).
-JOB_PHASES = (
+#: This list is the single phase table shared by the span derivation,
+#: the Perfetto exporter, and the causal profiler
+#: (:mod:`repro.obs.profile`); extend it with :func:`register_phase`
+#: and every consumer picks the new phase up.
+JOB_PHASES = [
     ("queued", "job.submitted", "job.dispatched"),
     ("allocated", "job.dispatched", "job.started"),
     ("executing", "job.started", "job.completed"),
-)
+]
+
+
+def register_phase(name, start_event, end_event):
+    """Add (or redefine) a derived lifecycle phase in :data:`JOB_PHASES`.
+
+    Phases are keyed by name: registering an existing name replaces its
+    event pair in place, preserving order; a new name appends.  The
+    events must be ``job.*`` trace categories.
+    """
+    for i, (existing, _s, _e) in enumerate(JOB_PHASES):
+        if existing == name:
+            JOB_PHASES[i] = (name, start_event, end_event)
+            return
+    JOB_PHASES.append((name, start_event, end_event))
 
 
 @dataclass(frozen=True)
@@ -38,15 +56,18 @@ class Span:
                 f"{self.track}:{self.name}")
 
 
-def job_spans(events):
+def job_spans(events, phases=None):
     """Derive per-job lifecycle spans from ``job.*`` trace events.
 
-    ``events`` is any iterable of :class:`repro.trace.TraceEvent`.
+    ``events`` is any iterable of :class:`repro.trace.TraceEvent`;
+    ``phases`` defaults to the shared :data:`JOB_PHASES` table.
     Returns the spans sorted by ``(start, track)``.  Jobs whose start
     event was evicted from a ring-buffer recorder simply contribute no
     span for the truncated phase — the derivation is tolerant of a
     partial log.
     """
+    if phases is None:
+        phases = JOB_PHASES
     # subject -> {event name: time of first occurrence}
     transitions = {}
     details = {}
@@ -59,12 +80,46 @@ def job_spans(events):
             details.setdefault(e.subject, {}).update(e.detail)
     spans = []
     for subject, marks in transitions.items():
-        for name, start_ev, end_ev in JOB_PHASES:
+        for name, start_ev, end_ev in phases:
             if start_ev in marks and end_ev in marks:
                 spans.append(Span(
                     name, subject, marks[start_ev], marks[end_ev],
                     args=dict(details.get(subject, {})),
                 ))
+    spans.sort(key=lambda s: (s.start, s.track, s.name))
+    return spans
+
+
+def process_spans(events):
+    """Per-process ``executing``/``preempted`` spans from CPU telemetry.
+
+    Low-priority ``cpu.slice`` events carry the owning job id (``tag``)
+    and the job-local process index (``proc``); each becomes an
+    ``executing`` span on the track ``job<id>.p<proc>``.  ``cpu.wait``
+    events with ``kind="requeue"`` — intervals where the process lost
+    the CPU with work remaining (quantum expiry, preemption, gang park)
+    — become ``preempted`` spans on the same track.  Events without a
+    process index (system work) contribute nothing.
+    """
+    spans = []
+    for e in events:
+        if e.category == "cpu.slice":
+            if e.detail.get("prio") != "low":
+                continue
+            name = "executing"
+        elif e.category == "cpu.wait":
+            if e.detail.get("kind") != "requeue":
+                continue
+            name = "preempted"
+        else:
+            continue
+        proc = e.detail.get("proc")
+        if proc is None:
+            continue
+        dur = float(e.detail.get("dur", 0.0))
+        track = f"job{e.detail.get('tag')}.p{proc}"
+        args = {k: v for k, v in e.detail.items() if k != "dur"}
+        spans.append(Span(name, track, e.time, e.time + dur, args=args))
     spans.sort(key=lambda s: (s.start, s.track, s.name))
     return spans
 

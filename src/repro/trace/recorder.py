@@ -96,5 +96,5 @@ class TraceRecorder:
         """An ``on_transition`` callback for :class:`repro.core.job.Job`."""
         def observe(job, event_name, now):
             self.record(now, f"job.{event_name}", job.name,
-                        size=job.size_class)
+                        size=job.size_class, job=job.job_id)
         return observe

@@ -45,21 +45,30 @@ class WorkRequest(Event):
     """A burst of CPU work; the event fires when the burst completes."""
 
     __slots__ = ("priority", "remaining", "quantum", "tag", "submitted_at",
-                 "started_at", "cpu_time", "slices")
+                 "started_at", "cpu_time", "slices", "proc", "ready_since",
+                 "ready_kind")
 
-    def __init__(self, cpu, work_seconds, priority, quantum, tag):
+    def __init__(self, cpu, work_seconds, priority, quantum, tag, proc=None):
         super().__init__(cpu.env)
         self.priority = priority
         self.remaining = float(work_seconds)
         self.quantum = quantum
         #: Opaque owner handle (job/process identity) for accounting.
         self.tag = tag
+        #: Process index within the owning job (profiler attribution).
+        self.proc = proc
         self.submitted_at = cpu.env.now
         self.started_at = None
         #: CPU time actually consumed so far.
         self.cpu_time = 0.0
         #: Number of dispatches this request received.
         self.slices = 0
+        #: When this request last entered a ready queue, and why
+        #: ("enqueue" = fresh submission, "requeue" = lost the CPU with
+        #: work remaining).  The dispatcher turns the interval up to the
+        #: next grant into a ``cpu.wait`` trace event.
+        self.ready_since = cpu.env.now
+        self.ready_kind = "enqueue"
 
     def __repr__(self):
         lvl = "HIGH" if self.priority == HIGH else "LOW"
@@ -103,7 +112,8 @@ class Cpu:
         self._proc = env.process(self._dispatch_loop(), name=f"cpu{node_id}")
 
     # -- public API -----------------------------------------------------
-    def execute(self, work_seconds, priority=LOW, quantum=None, tag=None):
+    def execute(self, work_seconds, priority=LOW, quantum=None, tag=None,
+                proc=None):
         """Submit a computation burst; returns its completion event.
 
         Parameters
@@ -118,6 +128,9 @@ class Cpu:
             hardware default from the config.  Ignored at high priority.
         tag:
             Opaque owner handle recorded on the request for accounting.
+        proc:
+            Process index within the owning job (telemetry attribution
+            only; never affects scheduling).
         """
         if work_seconds < 0:
             raise ValueError(f"work_seconds must be >= 0, got {work_seconds}")
@@ -125,7 +138,7 @@ class Cpu:
             raise ValueError(f"priority must be HIGH or LOW, got {priority}")
         req = WorkRequest(self, work_seconds, priority,
                           quantum if quantum is not None else self.config.quantum,
-                          tag)
+                          tag, proc=proc)
         if req.quantum <= 0:
             raise ValueError("quantum must be positive")
         if work_seconds <= _EPS:
@@ -241,9 +254,27 @@ class Cpu:
         if tel is not None:
             node = self.node_id if self.node_id is not None else -1
             tel.slice("cpu.slice", f"node{node}.cpu", start, elapsed,
-                      node=node, prio=prio, tag=req.tag)
+                      node=node, prio=prio, tag=req.tag, proc=req.proc)
             if prio == "low":
                 tel.metrics.histogram("cpu.quantum_slice").observe(elapsed)
+
+    def _observe_wait(self, req):
+        """The ready-queue interval that ended with this dispatch.
+
+        Recorded as a ``cpu.wait`` slice stamped at the instant the
+        request (re-)entered the queue; ``kind`` distinguishes the wait
+        for a first grant ("enqueue") from waiting to regain the CPU
+        after losing it with work remaining ("requeue" — quantum expiry,
+        preemption, or a gang park).
+        """
+        tel = self.env.telemetry
+        if tel is not None:
+            wait = self.env.now - req.ready_since
+            if wait > 0:
+                node = self.node_id if self.node_id is not None else -1
+                tel.slice("cpu.wait", f"node{node}.cpu", req.ready_since,
+                          wait, node=node, tag=req.tag, proc=req.proc,
+                          kind=req.ready_kind)
 
     def _run_high(self, req):
         env = self.env
@@ -270,6 +301,7 @@ class Cpu:
         env = self.env
         yield from self._charge_overhead()
         self._running = req
+        self._observe_wait(req)
         if req.started_at is None:
             req.started_at = env.now
             self._observe_dispatch(req)
@@ -319,6 +351,8 @@ class Cpu:
             self.stats.completed += 1
             req.succeed(req)
             return
+        req.ready_since = env.now
+        req.ready_kind = "requeue"
         # Unfinished work whose tag was paused mid-slice parks instead of
         # re-queueing (gang scheduling descheduled its job).
         if req.tag in self._paused:

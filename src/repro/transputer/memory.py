@@ -50,11 +50,13 @@ class Allocation:
 
 
 class AllocRequest(Event):
-    __slots__ = ("nbytes",)
+    __slots__ = ("nbytes", "owner")
 
-    def __init__(self, mmu, nbytes):
+    def __init__(self, mmu, nbytes, owner=None):
         super().__init__(mmu.env)
         self.nbytes = nbytes
+        #: Job id the allocation is charged to (telemetry only).
+        self.owner = owner
 
 
 @dataclass
@@ -100,17 +102,18 @@ class Mmu:
     def queue_length(self):
         return len(self._waiters)
 
-    def alloc(self, nbytes):
+    def alloc(self, nbytes, owner=None):
         """Request ``nbytes``; the event succeeds with an :class:`Allocation`.
 
         Requests larger than total capacity fail immediately (they could
         never be satisfied); otherwise the request waits FIFO until the
-        bytes are free.
+        bytes are free.  ``owner`` is the requesting job's id, recorded
+        on wait telemetry only.
         """
         nbytes = int(nbytes)
         if nbytes <= 0:
             raise ValueError(f"nbytes must be positive, got {nbytes}")
-        req = AllocRequest(self, nbytes)
+        req = AllocRequest(self, nbytes, owner=owner)
         if nbytes > self.capacity:
             req.fail(
                 MemoryError_(
@@ -152,21 +155,29 @@ class Mmu:
             self.stats.peak_in_use = max(self.stats.peak_in_use, self._in_use)
             self.stats.total_allocs += 1
             self.stats.bytes_allocated += req.nbytes
-            self.stats.total_wait_time += self.env.now - t0
+            wait = self.env.now - t0
+            self.stats.total_wait_time += wait
             if tel is not None:
                 tel.metrics.histogram(
                     f"mem.{self.region}.wait"
-                ).observe(self.env.now - t0)
+                ).observe(wait)
+                if wait > 0:
+                    tel.slice("mem.wait", f"node{self.node_id}.{self.region}",
+                              t0, wait, node=self.node_id,
+                              region=self.region, job=req.owner,
+                              nbytes=req.nbytes)
                 self._observe_level()
             req.succeed(Allocation(self, req.nbytes, self.env.now))
 
 
 class BufferRequest(Event):
-    __slots__ = ("hop_class",)
+    __slots__ = ("hop_class", "owner")
 
-    def __init__(self, pool, hop_class):
+    def __init__(self, pool, hop_class, owner=None):
         super().__init__(pool.env)
         self.hop_class = hop_class
+        #: Job id of the in-transit message (telemetry only).
+        self.owner = owner
 
 
 class Buffer:
@@ -226,12 +237,12 @@ class BufferPool:
             return sum(self._free)
         return self._free[hop_class]
 
-    def acquire(self, hop_class):
+    def acquire(self, hop_class, owner=None):
         """Request a buffer for a packet that has travelled ``hop_class`` hops."""
         if hop_class < 0:
             raise ValueError("hop_class must be >= 0")
         hop_class = min(hop_class, self.num_classes - 1)
-        req = BufferRequest(self, hop_class)
+        req = BufferRequest(self, hop_class, owner=owner)
         self._waiters.append((req, self.env.now))
         if len(self._waiters) > 1 or self._eligible(hop_class) is None:
             self.stats.blocked += 1
@@ -266,12 +277,15 @@ class BufferPool:
                 del self._waiters[i]
                 self._free[cls] -= 1
                 self.stats.grants += 1
-                self.stats.total_wait_time += self.env.now - t0
+                wait = self.env.now - t0
+                self.stats.total_wait_time += wait
                 tel = self.env.telemetry
                 if tel is not None:
-                    tel.metrics.histogram("buf.wait").observe(
-                        self.env.now - t0
-                    )
+                    tel.metrics.histogram("buf.wait").observe(wait)
+                    if wait > 0:
+                        tel.slice("buf.wait", f"node{self.node_id}.buffers",
+                                  t0, wait, node=self.node_id, job=req.owner,
+                                  hop_class=req.hop_class)
                 req.succeed(Buffer(self, cls))
                 progressed = True
                 break

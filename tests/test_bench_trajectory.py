@@ -1,0 +1,130 @@
+"""Tests for the benchmark-trajectory harness (bench_json + script)."""
+
+import json
+
+import pytest
+
+from repro.experiments.bench_json import (
+    SCHEMA,
+    bench_document,
+    compare,
+    load_bench,
+    run_scenarios,
+    write_bench,
+)
+
+
+def _scenario(figure=4, wall=1.0, rt=None):
+    return {
+        "figure": figure,
+        "title": f"figure {figure}",
+        "cells": 4,
+        "wall_s": wall,
+        "events": 1000,
+        "events_per_sec": 1000 / wall,
+        "mean_rt": rt or {"static": 0.7, "timesharing": 0.8},
+    }
+
+
+def _doc(wall=1.0, calibration=None, rt=None, scale="smoke"):
+    return bench_document([_scenario(wall=wall, rt=rt)],
+                          scale_name=scale, calibration=calibration,
+                          date="2026-08-06")
+
+
+# -- document schema -----------------------------------------------------
+def test_write_and_load_round_trip(tmp_path):
+    path = tmp_path / "BENCH_test.json"
+    write_bench(_doc(), path)
+    doc = load_bench(path)
+    assert doc["schema"] == SCHEMA
+    assert doc["scale"] == "smoke"
+    assert doc["total_wall_s"] == pytest.approx(1.0)
+    assert doc["scenarios"][0]["figure"] == 4
+
+
+def test_load_rejects_wrong_schema(tmp_path):
+    path = tmp_path / "bad.json"
+    doc = _doc()
+    doc["schema"] = "repro-bench/999"
+    path.write_text(json.dumps(doc))
+    with pytest.raises(ValueError, match="schema"):
+        load_bench(path)
+
+
+def test_load_rejects_missing_fields(tmp_path):
+    path = tmp_path / "bad.json"
+    doc = _doc()
+    del doc["scenarios"][0]["events_per_sec"]
+    path.write_text(json.dumps(doc))
+    with pytest.raises(ValueError, match="events_per_sec"):
+        load_bench(path)
+
+
+# -- regression gate -----------------------------------------------------
+def test_compare_passes_within_tolerance():
+    ok, lines = compare(_doc(wall=1.0), _doc(wall=1.15), tolerance=0.20)
+    assert ok
+    assert any("ratio 1.150" in line for line in lines)
+
+
+def test_compare_fails_on_wall_clock_regression():
+    ok, lines = compare(_doc(wall=1.0), _doc(wall=1.5), tolerance=0.20)
+    assert not ok
+    assert any(line.startswith("FAIL") for line in lines)
+
+
+def test_compare_normalises_by_calibration_when_available():
+    # Current host is 2x slower (calibration 2x) and wall is 2x: the
+    # normalised ratio is 1.0, so no regression.
+    base = _doc(wall=1.0, calibration=0.05)
+    cur = _doc(wall=2.0, calibration=0.10)
+    ok, lines = compare(base, cur, tolerance=0.20)
+    assert ok
+    assert any("normalised" in line for line in lines)
+    # Without calibration the same pair fails on raw seconds.
+    ok_raw, _ = compare(_doc(wall=1.0), _doc(wall=2.0), tolerance=0.20)
+    assert not ok_raw
+
+
+def test_compare_reports_simulated_time_drift_without_failing():
+    base = _doc(rt={"static": 0.7, "timesharing": 0.8})
+    cur = _doc(rt={"static": 0.7, "timesharing": 0.9})
+    ok, lines = compare(base, cur)
+    assert ok  # drift is a note, not a perf failure
+    assert any("drifted" in line for line in lines)
+
+
+def test_compare_skips_drift_check_across_scales():
+    ok, lines = compare(_doc(scale="smoke"), _doc(scale="paper"))
+    assert ok
+    assert any("scales differ" in line for line in lines)
+
+
+# -- the real harness (one cheap figure) ---------------------------------
+def test_run_scenarios_records_real_run(tmp_path):
+    scenarios = run_scenarios(scale_name="smoke", figures=(6,))
+    (s,) = scenarios
+    assert s["figure"] == 6
+    assert s["wall_s"] > 0
+    assert s["events"] > 0
+    assert s["events_per_sec"] > 0
+    assert set(s["mean_rt"]) == {"static", "timesharing"}
+    doc = bench_document(scenarios, scale_name="smoke", calibration=0.05)
+    path = write_bench(doc, tmp_path / "BENCH_real.json")
+    assert load_bench(path)["scenarios"][0]["events"] == s["events"]
+    # Determinism: simulated results must not drift between identical runs.
+    again = run_scenarios(scale_name="smoke", figures=(6,))
+    assert again[0]["mean_rt"] == s["mean_rt"]
+    assert again[0]["events"] == s["events"]
+
+
+def test_checked_in_baseline_is_valid(tmp_path):
+    import pathlib
+
+    baseline = (pathlib.Path(__file__).resolve().parent.parent
+                / "results" / "BENCH_baseline.json")
+    doc = load_bench(baseline)
+    assert doc["scale"] == "smoke"
+    assert [s["figure"] for s in doc["scenarios"]] == [3, 4, 5, 6]
+    assert doc["calibration"] is not None

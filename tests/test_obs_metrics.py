@@ -104,6 +104,60 @@ def test_registry_merge_histograms_by_prefix():
     assert merged.total == pytest.approx(3.0)
 
 
+def test_registry_merge_counters_histograms_skip_gauges():
+    env = Environment()
+    a = MetricsRegistry(env=env)
+    b = MetricsRegistry(env=env)
+    a.counter("jobs").inc(2)
+    b.counter("jobs").inc(3)
+    b.counter("only_b").inc(7)
+    a.histogram("lat").observe(1.0)
+    b.histogram("lat").observe(2.0)
+    a.gauge("level").set(5.0)
+    b.gauge("level").set(9.0)
+    a.merge(b)
+    assert a.counter("jobs").value == 5
+    assert a.counter("only_b").value == 7
+    assert a.histogram("lat").count == 2
+    assert a.histogram("lat").total == pytest.approx(3.0)
+    # Gauges are time-weighted levels: merging is undefined, so skipped.
+    assert a.gauge("level").value == 5.0
+    # The merged-from registry is untouched.
+    assert b.counter("jobs").value == 3
+
+
+def test_registry_merge_rejects_mismatched_histogram_geometry():
+    """Regression: a same-named histogram pair with different bucket
+    boundaries must raise, not silently mis-merge percentiles."""
+    a = MetricsRegistry(env=Environment())
+    b = MetricsRegistry(env=Environment())
+    a.histogram("lat").observe(1.0)
+    b.histogram("lat", boundaries=log_boundaries(per_decade=2)).observe(1.0)
+    with pytest.raises(ValueError, match="boundaries"):
+        a.merge(b)
+    # Missing-on-this-side histograms adopt the source geometry exactly.
+    c = MetricsRegistry(env=Environment())
+    c.merge(b)
+    assert c.histogram("lat").boundaries == log_boundaries(per_decade=2)
+    assert c.histogram("lat").count == 1
+
+
+def test_registry_merge_rejects_kind_mismatch():
+    a = MetricsRegistry(env=Environment())
+    b = MetricsRegistry(env=Environment())
+    a.counter("x")
+    b.histogram("x")
+    with pytest.raises(TypeError):
+        a.merge(b)
+
+
+def test_null_registry_merge_is_inert():
+    reg = MetricsRegistry(env=Environment())
+    reg.counter("jobs").inc()
+    assert NULL_REGISTRY.merge(reg) is NULL_REGISTRY
+    assert len(NULL_REGISTRY) == 0
+
+
 def test_null_registry_is_inert():
     assert not NULL_REGISTRY.enabled
     NULL_REGISTRY.counter("x").inc()

@@ -118,6 +118,51 @@ def test_jsonl_lines_match_recorder():
     assert len(events) == len(system.telemetry.recorder)
 
 
+# -- satellite: recorder summary in trace metadata ----------------------
+def test_perfetto_embeds_recorder_summary():
+    system, _ = instrumented_run()
+    doc = to_perfetto(system.telemetry)
+    summary = system.telemetry.recorder.summary()
+    assert doc["otherData"] == {k: str(v) for k, v in summary.items()}
+    assert doc["otherData"]["dropped"] == "0"
+    # Untruncated traces carry no truncation marker.
+    assert not [e for e in doc["traceEvents"]
+                if e.get("cat") == "trace"]
+
+
+def test_perfetto_marks_ring_buffer_truncation():
+    cfg = SystemConfig(num_nodes=4, topology="linear",
+                       transputer=ideal_transputer(), telemetry=True,
+                       telemetry_capacity=300)
+    system = MulticomputerSystem(cfg, TimeSharing())
+    system.run_batch(standard_batch("matmul", num_small=3, num_large=1,
+                                    small_size=16, large_size=32))
+    dropped = system.telemetry.recorder.dropped
+    assert dropped > 0
+    doc = to_perfetto(system.telemetry)
+    assert doc["otherData"]["dropped"] == str(dropped)
+    markers = [e for e in doc["traceEvents"] if e.get("cat") == "trace"]
+    assert len(markers) == 1
+    marker = markers[0]
+    assert marker["ph"] == "i"
+    assert str(dropped) in marker["name"]
+    # Stamped where the retained window begins.
+    earliest = min(e.time for e in system.telemetry.recorder)
+    assert marker["ts"] == pytest.approx(earliest * 1e6)
+
+
+def test_perfetto_process_tracks_optional():
+    system, _ = instrumented_run()
+    lean = to_perfetto(system.telemetry)["traceEvents"]
+    full = to_perfetto(system.telemetry, process_tracks=True)["traceEvents"]
+    lean_proc = [e for e in lean if e.get("cat") == "process"]
+    full_proc = [e for e in full if e.get("cat") == "process"]
+    assert not lean_proc
+    assert full_proc
+    assert {e["name"] for e in full_proc} >= {"executing"}
+    assert all(e["pid"] == SCHEDULER_PID for e in full_proc)
+
+
 # -- span derivation -----------------------------------------------------
 def test_job_spans_cover_lifecycle():
     system, result = instrumented_run()

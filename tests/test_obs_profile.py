@@ -1,0 +1,245 @@
+"""Tests for the causal profiler: wait-state attribution, critical
+paths, collapsed-stack export, and the shared phase table."""
+
+import json
+import re
+
+import pytest
+
+from repro.core import (
+    DynamicSpaceSharing,
+    HybridPolicy,
+    MulticomputerSystem,
+    StaticSpaceSharing,
+    SystemConfig,
+    TimeSharing,
+)
+from repro.experiments.config import ExperimentScale, figure_spec
+from repro.experiments.report import attribution_policy_rows
+from repro.experiments.runner import run_figure
+from repro.experiments.serialization import result_to_dict
+from repro.obs import (
+    BUCKETS,
+    bucket_names,
+    collapsed_lines,
+    process_spans,
+    profile_events,
+    profile_run,
+    write_collapsed,
+)
+from repro.obs.profile import CpSegment, _partition_window
+from repro.obs.spans import JOB_PHASES, register_phase
+from repro.workload import standard_batch
+
+from tests.conftest import ideal_transputer
+
+POLICIES = {
+    "static": lambda: StaticSpaceSharing(4),
+    "hybrid": lambda: HybridPolicy(4),
+    "timesharing": TimeSharing,
+    "dynamic": DynamicSpaceSharing,
+}
+
+
+def _profiled_run(policy_factory, architecture="adaptive", app="matmul"):
+    cfg = SystemConfig(num_nodes=8, topology="linear", telemetry=True)
+    system = MulticomputerSystem(cfg, policy_factory())
+    batch = standard_batch(app, architecture=architecture,
+                           num_small=4, num_large=2,
+                           small_size=16, large_size=32)
+    system.run_batch(batch)
+    return system, profile_run(system.telemetry)
+
+
+# -- wait-state attribution ----------------------------------------------
+@pytest.mark.parametrize("policy", sorted(POLICIES))
+@pytest.mark.parametrize("architecture", ["fixed", "adaptive"])
+def test_buckets_sum_to_response_time(policy, architecture):
+    """The tentpole invariant: exhaustive, non-overlapping buckets."""
+    _system, prof = _profiled_run(POLICIES[policy], architecture)
+    assert len(prof.jobs) == 6
+    assert prof.skipped == ()
+    prof.check_invariants(rel_tol=1e-6)
+    for jp in prof.jobs:
+        assert set(jp.buckets) <= set(BUCKETS)
+        assert all(v >= -1e-12 for v in jp.buckets.values())
+        assert jp.bucket_sum() == pytest.approx(jp.response_time,
+                                                rel=1e-6, abs=1e-9)
+
+
+def test_attribution_separates_policy_costs():
+    """Static pays in queueing; time-sharing pays in CPU contention."""
+    _s, static = _profiled_run(POLICIES["static"])
+    _t, ts = _profiled_run(POLICIES["timesharing"])
+    assert static.bucket_fractions()["queued"] > 0.1
+    assert ts.bucket_fractions()["queued"] == pytest.approx(0.0)
+    assert (ts.bucket_fractions()["cpu_ready"]
+            > static.bucket_fractions()["cpu_ready"])
+
+
+def test_profile_invariant_check_rejects_bad_buckets():
+    _s, prof = _profiled_run(POLICIES["static"])
+    jp = prof.jobs[0]
+    jp.buckets["executing"] += 1.0
+    with pytest.raises(ValueError, match="buckets sum"):
+        prof.check_invariants()
+
+
+def test_partition_window_priority_and_residual():
+    """First matching category wins; the residual is blocked."""
+    out = _partition_window(0.0, 10.0, [
+        ("executing", [(0.0, 4.0)]),
+        ("cpu_ready", [(2.0, 6.0)]),
+        ("transfer", [(5.0, 7.0)]),
+    ])
+    assert out["executing"] == pytest.approx(4.0)
+    assert out["cpu_ready"] == pytest.approx(2.0)   # 4..6 only
+    assert out["transfer"] == pytest.approx(1.0)    # 6..7 only
+    assert out["blocked"] == pytest.approx(3.0)     # 7..10
+    assert sum(out.values()) == pytest.approx(10.0)
+
+
+def test_truncated_trace_skips_jobs_not_misattributes():
+    cfg = SystemConfig(num_nodes=8, topology="linear", telemetry=True,
+                       telemetry_capacity=200)
+    system = MulticomputerSystem(cfg, TimeSharing())
+    batch = standard_batch("matmul", num_small=4, num_large=2,
+                           small_size=16, large_size=32)
+    system.run_batch(batch)
+    assert system.telemetry.recorder.dropped > 0
+    prof = profile_run(system.telemetry)
+    assert prof.skipped  # lifecycle events evicted -> reported, not guessed
+    prof.check_invariants()
+
+
+# -- acceptance: all four figure scenarios at smoke scale ----------------
+@pytest.mark.parametrize("figure", [3, 4, 5, 6])
+def test_every_job_attributed_in_smoke_figures(figure):
+    scale = ExperimentScale.smoke()
+    sink = []
+    run_figure(figure_spec(figure), scale, telemetry_sink=sink)
+    assert sink
+    jobs = 0
+    for _label, _policy, tel in sink:
+        prof = profile_run(tel)
+        assert prof.skipped == ()
+        prof.check_invariants(rel_tol=1e-6)
+        jobs += len(prof.jobs)
+    assert jobs > 0
+    rows, columns = attribution_policy_rows(sink)
+    assert columns[:3] == ["policy", "jobs", "mean_rt"]
+    assert {r["policy"] for r in rows} == {"static", "timesharing"}
+    for row in rows:
+        # Fractions of response time partition to 1 per policy pool.
+        assert sum(row[b] for b in BUCKETS) == pytest.approx(1.0, rel=1e-6)
+
+
+# -- critical paths ------------------------------------------------------
+def test_critical_path_tiles_execution_window():
+    _s, prof = _profiled_run(POLICIES["timesharing"])
+    kinds = set(BUCKETS) - {"queued", "allocated"}
+    for jp, cp in zip(prof.jobs, prof.paths):
+        assert cp.job_id == jp.job_id
+        segs = cp.segments
+        assert segs
+        assert all(s.kind in kinds for s in segs)
+        assert all(s.duration >= 0 for s in segs)
+        # Contiguous along the walked timeline, spanning the window.
+        assert segs[0].start == pytest.approx(jp.started_at)
+        assert segs[-1].end == pytest.approx(jp.completed_at)
+        assert cp.duration == pytest.approx(
+            jp.completed_at - jp.started_at, rel=1e-6, abs=1e-9)
+        # Off-path slack is reported for every executing process.
+        assert set(cp.slack) == set(jp.procs)
+        assert all(v >= 0 for v in cp.slack.values())
+
+
+def test_critical_path_crosses_processes_on_parallel_job():
+    _s, prof = _profiled_run(POLICIES["static"])
+    large = [cp for jp, cp in zip(prof.jobs, prof.paths)
+             if jp.size_class == "large"]
+    assert large
+    assert any(len({s.proc for s in cp.segments}) > 1 for cp in large)
+
+
+# -- collapsed-stack export ----------------------------------------------
+_COLLAPSED = re.compile(r"^[^ ;]+(;[^ ;]+)+ \d+$")
+
+
+def test_collapsed_lines_format(tmp_path):
+    _s, prof = _profiled_run(POLICIES["timesharing"])
+    lines = collapsed_lines(prof.paths, prefix="16L:ts")
+    assert lines
+    for line in lines:
+        assert _COLLAPSED.match(line), line
+        stack, count = line.rsplit(" ", 1)
+        assert stack.startswith("16L:ts;job")
+        assert int(count) > 0
+    out = tmp_path / "profile.collapsed"
+    write_collapsed(out, prof)
+    text = out.read_text()
+    assert text.endswith("\n")
+    assert all(_COLLAPSED.match(l) for l in text.strip().splitlines())
+
+
+def test_profile_to_dict_is_json_serialisable():
+    _s, prof = _profiled_run(POLICIES["hybrid"])
+    doc = prof.to_dict()
+    assert doc["schema"] == "repro-profile/1"
+    assert doc["num_jobs"] == len(prof.jobs)
+    assert set(doc["bucket_totals"]) == set(BUCKETS)
+    assert json.dumps(doc)
+
+
+# -- satellite: shared phase table & per-process spans -------------------
+def test_bucket_names_follow_registered_phases():
+    before = list(JOB_PHASES)
+    try:
+        register_phase("staged", "job.staged", "job.started")
+        assert "staged" in bucket_names()
+        # Redefinition replaces in place, no duplicates.
+        register_phase("staged", "job.staged2", "job.started")
+        assert [n for n, _s, _e in JOB_PHASES].count("staged") == 1
+    finally:
+        JOB_PHASES[:] = before
+    assert "staged" not in bucket_names()
+    assert bucket_names() == BUCKETS
+
+
+def test_process_spans_executing_and_preempted():
+    system, prof = _profiled_run(POLICIES["timesharing"])
+    spans = process_spans(system.telemetry.recorder)
+    names = {s.name for s in spans}
+    assert names == {"executing", "preempted"}
+    assert all(re.match(r"job\d+\.p\d+$", s.track) for s in spans)
+    # Every profiled job with several processes has per-process tracks.
+    tracked_jobs = {int(s.track.split(".")[0][3:]) for s in spans}
+    assert {jp.job_id for jp in prof.jobs} <= tracked_jobs
+
+
+# -- no-perturbation with the profiler in the loop -----------------------
+def _normalised(result):
+    data = result_to_dict(result)
+    for i, job in enumerate(data["jobs"]):
+        job["name"] = f"job#{i}"
+    return json.dumps(data, sort_keys=True).encode()
+
+
+def test_profiler_does_not_perturb_results():
+    """Profiling is post-hoc: instrumented-and-profiled results match
+    the uninstrumented run byte for byte."""
+    def run(telemetry):
+        cfg = SystemConfig(num_nodes=8, topology="linear",
+                           transputer=ideal_transputer(),
+                           telemetry=telemetry)
+        batch = standard_batch("matmul", num_small=4, num_large=2,
+                               small_size=16, large_size=32)
+        system = MulticomputerSystem(cfg, TimeSharing())
+        return system, system.run_batch(batch)
+
+    _plain_sys, plain = run(telemetry=False)
+    inst_sys, instrumented = run(telemetry=True)
+    prof = profile_run(inst_sys.telemetry)
+    prof.check_invariants(rel_tol=1e-6)
+    assert _normalised(plain) == _normalised(instrumented)
+    assert plain.snapshot == instrumented.snapshot
