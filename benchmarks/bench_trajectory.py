@@ -12,6 +12,8 @@ Examples::
     PYTHONPATH=src python benchmarks/bench_trajectory.py --scale smoke
     PYTHONPATH=src python benchmarks/bench_trajectory.py \
         --scale smoke --compare-to results/BENCH_baseline.json
+    PYTHONPATH=src python benchmarks/bench_trajectory.py \
+        --scale smoke --jobs 0   # also record parallel wall-clock/speedup
 
 Unlike the ``bench_*`` pytest-style microbenchmarks in this directory,
 this script tracks the *trajectory* of whole-figure runs across
@@ -54,6 +56,12 @@ def parse_args(argv):
         "--no-calibration", action="store_true",
         help="skip the host-speed calibration loop",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="also run each figure on an N-worker process pool (0 = "
+             "one per core) and record parallel wall-clock + speedup "
+             "in the document (default 1 = serial only)",
+    )
     return parser.parse_args(argv)
 
 
@@ -73,18 +81,34 @@ def main(argv=None):
     if calibration is not None:
         print(f"calibration: {calibration:.4f}s")
 
-    scenarios = run_scenarios(scale_name=args.scale, figures=figures)
+    scenarios = run_scenarios(scale_name=args.scale, figures=figures,
+                              jobs=args.jobs)
     for s in scenarios:
         rts = ", ".join(f"{p}={rt:.3f}" for p, rt in s["mean_rt"].items())
-        print(f"figure {s['figure']}: {s['wall_s']:.2f}s wall, "
-              f"{s['events']} events ({s['events_per_sec']:.0f}/s), "
-              f"mean RT {rts}")
+        line = (f"figure {s['figure']}: {s['wall_s']:.2f}s wall, "
+                f"{s['events']} events ({s['events_per_sec']:.0f}/s), "
+                f"mean RT {rts}")
+        if "parallel_wall_s" in s:
+            line += (f", parallel {s['parallel_wall_s']:.2f}s "
+                     f"({s['parallel_jobs']} jobs, "
+                     f"match={s['parallel_matches_serial']})")
+        print(line)
 
     doc = bench_document(scenarios, scale_name=args.scale,
                          calibration=calibration)
     out = args.out or f"BENCH_{time.strftime('%Y-%m-%d')}.json"
     write_bench(doc, out)
     print(f"wrote {out} (total wall {doc['total_wall_s']:.2f}s)")
+    if "parallel_total_wall_s" in doc:
+        print(f"parallel total {doc['parallel_total_wall_s']:.2f}s "
+              f"({doc['parallel_jobs']} jobs, "
+              f"speedup {doc['parallel_speedup']:.2f}x)")
+        mismatched = [s["figure"] for s in scenarios
+                      if not s.get("parallel_matches_serial", True)]
+        if mismatched:
+            print(f"FAIL: parallel results diverged from serial for "
+                  f"figures {mismatched}")
+            return 1
 
     if args.compare_to:
         baseline = load_bench(args.compare_to)

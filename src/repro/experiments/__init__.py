@@ -33,8 +33,18 @@ from repro.experiments.config import (
     FigureSpec,
     figure_spec,
 )
+from repro.experiments.parallel import (
+    CellError,
+    GridExecutionError,
+    merged_metrics,
+    resolve_jobs,
+    run_cells_parallel,
+    run_figure_parallel,
+)
 from repro.experiments.runner import (
     GridCell,
+    averaged_static_metrics,
+    enumerate_cells,
     run_cell,
     run_figure,
     run_static_averaged,
@@ -56,24 +66,32 @@ from repro.experiments.speedup import crossover_partition_size, speedup_curve
 from repro.experiments import ablations
 
 __all__ = [
+    "CellError",
     "DEFAULT_PARTITION_SIZES",
     "DEFAULT_TOPOLOGIES",
     "ExperimentScale",
     "FigureSpec",
     "GridCell",
+    "GridExecutionError",
     "ablations",
+    "averaged_static_metrics",
     "config_from_dict",
     "config_to_dict",
     "crossover_partition_size",
+    "enumerate_cells",
     "figure_spec",
     "format_grid",
     "format_telemetry_summary",
     "grid_to_csv",
+    "merged_metrics",
+    "resolve_jobs",
     "telemetry_policy_rows",
     "load_results",
     "result_to_dict",
     "run_cell",
+    "run_cells_parallel",
     "run_figure",
+    "run_figure_parallel",
     "run_static_averaged",
     "save_results",
     "speedup_curve",

@@ -52,52 +52,85 @@ def calibrate(repeats=3):
     return best
 
 
-def run_scenarios(scale_name="smoke", figures=DEFAULT_FIGURES):
+def run_scenarios(scale_name="smoke", figures=DEFAULT_FIGURES, jobs=None):
     """Run the figure scenarios instrumented; returns scenario dicts.
 
     Each dict records the figure, wall-clock seconds, total trace
     events (kept + dropped — the true event volume), host events/sec,
     and mean response time per policy.
+
+    ``jobs``, when it resolves to more than one worker (``0`` = one per
+    core), additionally re-runs every figure on a shared process pool
+    and records ``parallel_wall_s``, ``parallel_jobs``, and
+    ``parallel_matches_serial`` — the latter a cell-for-cell equality
+    check of the parallel sweep against the serial one, so the record
+    doubles as an equivalence certificate.  The serial ``wall_s`` is
+    always measured, so the document captures both trajectories.
     """
+    from concurrent.futures import ProcessPoolExecutor
+
     from repro.experiments.config import ExperimentScale, figure_spec
+    from repro.experiments.parallel import resolve_jobs, run_figure_parallel
     from repro.experiments.runner import run_figure
 
     scale = (ExperimentScale.paper() if scale_name == "paper"
              else ExperimentScale.smoke())
+    jobs = resolve_jobs(jobs)
+    pool = ProcessPoolExecutor(max_workers=jobs) if jobs > 1 else None
     scenarios = []
-    for number in figures:
-        spec = figure_spec(number)
-        sink = []
-        t0 = time.perf_counter()
-        cells = run_figure(spec, scale, telemetry_sink=sink)
-        wall = time.perf_counter() - t0
-        events = sum(len(tel.recorder) + tel.recorder.dropped
-                     for _label, _policy, tel in sink)
-        mean_rt = {}
-        counts = {}
-        for cell in cells:
-            mean_rt[cell.policy] = (
-                mean_rt.get(cell.policy, 0.0) + cell.mean_response_time
-            )
-            counts[cell.policy] = counts.get(cell.policy, 0) + 1
-        for policy in mean_rt:
-            mean_rt[policy] /= counts[policy]
-        scenarios.append({
-            "figure": number,
-            "title": spec.title,
-            "cells": len(cells),
-            "wall_s": wall,
-            "events": events,
-            "events_per_sec": events / wall if wall > 0 else 0.0,
-            "mean_rt": dict(sorted(mean_rt.items())),
-        })
+    try:
+        for number in figures:
+            spec = figure_spec(number)
+            sink = []
+            t0 = time.perf_counter()
+            cells = run_figure(spec, scale, telemetry_sink=sink)
+            wall = time.perf_counter() - t0
+            events = sum(len(tel.recorder) + tel.recorder.dropped
+                         for _label, _policy, tel in sink)
+            mean_rt = {}
+            counts = {}
+            for cell in cells:
+                mean_rt[cell.policy] = (
+                    mean_rt.get(cell.policy, 0.0) + cell.mean_response_time
+                )
+                counts[cell.policy] = counts.get(cell.policy, 0) + 1
+            for policy in mean_rt:
+                mean_rt[policy] /= counts[policy]
+            record = {
+                "figure": number,
+                "title": spec.title,
+                "cells": len(cells),
+                "wall_s": wall,
+                "events": events,
+                "events_per_sec": events / wall if wall > 0 else 0.0,
+                "mean_rt": dict(sorted(mean_rt.items())),
+            }
+            if pool is not None:
+                t0 = time.perf_counter()
+                par_cells = run_figure_parallel(spec, scale, jobs=jobs,
+                                                pool=pool)
+                record["parallel_wall_s"] = time.perf_counter() - t0
+                record["parallel_jobs"] = jobs
+                record["parallel_matches_serial"] = par_cells == cells
+            scenarios.append(record)
+    finally:
+        if pool is not None:
+            pool.shutdown()
     return scenarios
 
 
 def bench_document(scenarios, scale_name="smoke", calibration=None,
                    date=None):
-    """Assemble the schema-versioned benchmark document."""
-    return {
+    """Assemble the schema-versioned benchmark document.
+
+    When the scenarios carry parallel timings (``run_scenarios`` with
+    ``jobs`` > 1) the document additionally records
+    ``parallel_total_wall_s``, ``parallel_jobs``, and
+    ``parallel_speedup`` (serial total / parallel total).  These fields
+    are optional in the schema, so documents from serial runs — and
+    older baselines — still load and compare.
+    """
+    doc = {
         "schema": SCHEMA,
         "date": date or time.strftime("%Y-%m-%d"),
         "scale": scale_name,
@@ -105,6 +138,14 @@ def bench_document(scenarios, scale_name="smoke", calibration=None,
         "total_wall_s": sum(s["wall_s"] for s in scenarios),
         "scenarios": scenarios,
     }
+    parallel = [s for s in scenarios if "parallel_wall_s" in s]
+    if parallel and len(parallel) == len(scenarios):
+        par_total = sum(s["parallel_wall_s"] for s in parallel)
+        doc["parallel_total_wall_s"] = par_total
+        doc["parallel_jobs"] = max(s["parallel_jobs"] for s in parallel)
+        doc["parallel_speedup"] = (doc["total_wall_s"] / par_total
+                                   if par_total > 0 else 0.0)
+    return doc
 
 
 def write_bench(doc, path):

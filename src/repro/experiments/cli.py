@@ -4,6 +4,7 @@ Examples::
 
     python -m repro.experiments --figure 3
     python -m repro.experiments --figure all --scale smoke
+    python -m repro.experiments --figure all --jobs 0   # all cores
     python -m repro.experiments --ablation variance
     python -m repro.experiments --figure 4 --csv fig4.csv
     python -m repro.experiments --figure 3 --trace-out run.perfetto.json \
@@ -28,6 +29,7 @@ from repro.experiments.report import (
     format_telemetry_summary,
     grid_to_csv,
 )
+from repro.experiments.parallel import resolve_jobs, run_figure_parallel
 from repro.experiments.runner import run_figure
 
 
@@ -54,6 +56,12 @@ def _parse_args(argv):
     parser.add_argument(
         "--scale", choices=("paper", "smoke"), default="paper",
         help="problem-size scaling (default: paper)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the figure sweep and validation "
+             "battery (default 1 = serial; 0 = one per CPU core); "
+             "results are cell-for-cell identical to a serial run",
     )
     parser.add_argument(
         "--csv", default=None, help="also write the grid as CSV to this path"
@@ -104,6 +112,7 @@ def _parse_args(argv):
 
 
 def _run_figures(args, out=None):
+    """Run the selected figures; returns the number of failed cells."""
     out = out or sys.stdout
     scale = (ExperimentScale.paper() if args.scale == "paper"
              else ExperimentScale.smoke())
@@ -111,8 +120,10 @@ def _run_figures(args, out=None):
     profiling = (args.command == "profile" or args.attrib_out
                  or args.flame_out)
     telemetry_wanted = bool(args.trace_out or args.metrics_out or profiling)
+    jobs = resolve_jobs(args.jobs)
     all_cells = []
     all_telemetry = []
+    all_errors = []
     for number in numbers:
         spec = figure_spec(number)
         start = time.time()
@@ -123,8 +134,17 @@ def _run_figures(args, out=None):
                   f"rt={cell.mean_response_time:9.3f}s", file=out)
 
         print(f"=== Figure {number}: {spec.title} [{scale.name}]", file=out)
-        cells = run_figure(spec, scale, progress=progress,
-                           telemetry_sink=sink)
+        if jobs > 1:
+            errors = []
+            cells = run_figure_parallel(spec, scale, jobs=jobs,
+                                        progress=progress,
+                                        telemetry_sink=sink, errors=errors)
+            for err in errors:
+                print(f"  {err.describe()}", file=out)
+            all_errors.extend(errors)
+        else:
+            cells = run_figure(spec, scale, progress=progress,
+                               telemetry_sink=sink)
         print(format_grid(cells, title=f"Figure {number} ({spec.title})"),
               file=out)
         if sink:
@@ -151,6 +171,9 @@ def _run_figures(args, out=None):
         _write_telemetry(args, all_telemetry, out)
     if profiling and (args.attrib_out or args.flame_out):
         _write_profile(args, all_telemetry, out)
+    if all_errors:
+        print(f"{len(all_errors)} cell(s) FAILED", file=out)
+    return len(all_errors)
 
 
 def _write_telemetry(args, entries, out):
@@ -168,6 +191,8 @@ def _write_telemetry(args, entries, out):
               f"{label} [{policy}]; {summary['events']} recorded, "
               f"{summary['dropped']} dropped)", file=out)
     if args.metrics_out:
+        from repro.experiments.parallel import merged_metrics
+
         doc = {
             "cells": [
                 {
@@ -178,6 +203,10 @@ def _write_telemetry(args, entries, out):
                 }
                 for label, policy, tel in entries
             ],
+            # Sweep-wide aggregate: counters add, histograms merge
+            # exactly (identical whether cells ran serially or on a
+            # worker pool).
+            "combined": merged_metrics(entries).to_dict(),
         }
         with open(args.metrics_out, "w") as fh:
             json.dump(doc, fh, indent=1)
@@ -282,11 +311,11 @@ def _run_topology_table(out=None):
           file=out)
 
 
-def _run_validation(out=None):
+def _run_validation(out=None, jobs=1):
     out = out or sys.stdout
     from repro.experiments.validation import all_checks_pass, validation_report
 
-    rows, columns = validation_report()
+    rows, columns = validation_report(jobs=jobs)
     for row in rows:
         for key in ("simulated", "predicted", "rel_error", "tolerance"):
             row[key] = float(row[key])
@@ -300,12 +329,13 @@ def _run_validation(out=None):
 def main(argv=None):
     args = _parse_args(argv if argv is not None else sys.argv[1:])
     if args.validate:
-        if not _run_validation():
+        if not _run_validation(jobs=args.jobs):
             return 1
     if args.topologies:
         _run_topology_table()
     if args.figure:
-        _run_figures(args)
+        if _run_figures(args):
+            return 1
     if args.ablation:
         _run_ablations(args)
     if args.sensitivity:

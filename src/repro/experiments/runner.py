@@ -76,6 +76,30 @@ def run_static_averaged(config, partition_size, batch, telemetry_sink=None):
     return mean, best, worst
 
 
+def _snapshot_metrics(snapshot):
+    """(memory_wait, cpu_utilization) of one run's system snapshot."""
+    return (snapshot.memory_wait_time + snapshot.mailbox_wait_time,
+            snapshot.mean_cpu_utilization)
+
+
+def averaged_static_metrics(first, second):
+    """Symmetric best/worst average of a static cell's reported metrics.
+
+    Returns ``(mean_response_time, makespan, memory_wait,
+    cpu_utilization)``; every component is the arithmetic mean of the
+    two orderings' values, so the result is invariant under swapping
+    the best/worst labels.
+    """
+    mw_a, cpu_a = _snapshot_metrics(first.snapshot)
+    mw_b, cpu_b = _snapshot_metrics(second.snapshot)
+    return (
+        (first.mean_response_time + second.mean_response_time) / 2.0,
+        (first.makespan + second.makespan) / 2.0,
+        (mw_a + mw_b) / 2.0,
+        (cpu_a + cpu_b) / 2.0,
+    )
+
+
 def run_cell(figure, app, architecture, partition_size, topology,
              policy_kind, scale, transputer=None, system_overrides=None,
              telemetry_sink=None):
@@ -100,8 +124,9 @@ def run_cell(figure, app, architecture, partition_size, topology,
     if policy_kind == "static":
         mean, best, worst = run_static_averaged(config, partition_size, batch,
                                                 telemetry_sink=cell_sink)
-        snap = best.snapshot
-        makespan = (best.makespan + worst.makespan) / 2.0
+        mean, makespan, memory_wait, cpu_util = averaged_static_metrics(
+            best, worst
+        )
     else:
         policy = _policy_for(policy_kind, partition_size, config.num_nodes)
         system = MulticomputerSystem(config, policy)
@@ -109,8 +134,8 @@ def run_cell(figure, app, architecture, partition_size, topology,
         if cell_sink is not None and system.telemetry is not None:
             cell_sink.append((policy_kind, policy_kind, system.telemetry))
         mean = result.mean_response_time
-        snap = result.snapshot
         makespan = result.makespan
+        memory_wait, cpu_util = _snapshot_metrics(result.snapshot)
     if telemetry_sink is not None:
         for sub_label, _, tel in cell_sink:
             telemetry_sink.append((f"{label}:{sub_label}", policy_kind, tel))
@@ -125,9 +150,38 @@ def run_cell(figure, app, architecture, partition_size, topology,
         label=label,
         mean_response_time=mean,
         makespan=makespan,
-        memory_wait=snap.memory_wait_time + snap.mailbox_wait_time,
-        cpu_utilization=snap.mean_cpu_utilization,
+        memory_wait=memory_wait,
+        cpu_utilization=cpu_util,
     )
+
+
+def enumerate_cells(spec, scale):
+    """The figure's grid as an explicit, ordered list of cell kwargs.
+
+    Each entry is a dict of :func:`run_cell`'s identifying arguments
+    (figure/app/architecture/partition_size/topology/policy_kind).
+    Hypercube is skipped at 16 nodes (one transputer link is reserved
+    for the host), and cells with the same partition size but different
+    topology are identical at p = 1 (no links), so p = 1 appears once
+    under the first topology.  Both the serial and the parallel runner
+    iterate this list, in this order.
+    """
+    tasks = []
+    for p in scale.partition_sizes:
+        topologies = scale.topologies if p > 1 else scale.topologies[:1]
+        for topo in topologies:
+            if topo == "hypercube" and p >= 16:
+                continue  # not configurable on the real machine
+            for policy_kind in ("static", "timesharing"):
+                tasks.append({
+                    "figure": spec.number,
+                    "app": spec.app,
+                    "architecture": spec.architecture,
+                    "partition_size": p,
+                    "topology": topo,
+                    "policy_kind": policy_kind,
+                })
+    return tasks
 
 
 def run_figure(spec, scale, transputer=None, system_overrides=None,
@@ -135,25 +189,18 @@ def run_figure(spec, scale, transputer=None, system_overrides=None,
     """Regenerate one of the paper's figures as a list of GridCells.
 
     The paper's plot has a static and a time-sharing/hybrid series over
-    the partition-size x topology grid; hypercube is skipped at 16
-    nodes (one transputer link is reserved for the host).  Cells with
-    the same partition size but different topology are identical at
-    p = 1 (no links), so p = 1 runs once under the first topology.
+    the partition-size x topology grid (see :func:`enumerate_cells` for
+    the exact cell list).  For multi-core execution of the same grid
+    see :func:`repro.experiments.parallel.run_figure_parallel`.
     """
     cells = []
-    for p in scale.partition_sizes:
-        topologies = scale.topologies if p > 1 else scale.topologies[:1]
-        for topo in topologies:
-            if topo == "hypercube" and p >= 16:
-                continue  # not configurable on the real machine
-            for policy_kind in ("static", "timesharing"):
-                cell = run_cell(
-                    spec.number, spec.app, spec.architecture, p, topo,
-                    policy_kind, scale, transputer=transputer,
-                    system_overrides=system_overrides,
-                    telemetry_sink=telemetry_sink,
-                )
-                cells.append(cell)
-                if progress is not None:
-                    progress(cell)
+    for task in enumerate_cells(spec, scale):
+        cell = run_cell(
+            scale=scale, transputer=transputer,
+            system_overrides=system_overrides,
+            telemetry_sink=telemetry_sink, **task,
+        )
+        cells.append(cell)
+        if progress is not None:
+            progress(cell)
     return cells

@@ -63,66 +63,77 @@ def _row(check, simulated, predicted, tolerance):
     }
 
 
-def validation_report():
-    """Run all oracle checks; returns (rows, columns)."""
-    rows = []
-
-    # 1. Single-node FCFS batch == prefix-sum formula.
-    apps = [MatMulApplication(n, architecture="adaptive")
+def _reference_apps():
+    return [MatMulApplication(n, architecture="adaptive")
             for n in (16, 24, 32)]
+
+
+def _check_fcfs_batch():
+    """Single-node FCFS batch == prefix-sum formula."""
+    apps = _reference_apps()
     demands = [(a.total_ops(1) + a.n ** 2) / 1e6 for a in apps]
     cfg = SystemConfig(num_nodes=1, topology="linear",
                        transputer=_ideal_transputer())
     result = MulticomputerSystem(cfg, StaticSpaceSharing(1)).run_batch(
         BatchWorkload([JobSpec(a, "x") for a in apps])
     )
-    rows.append(_row("single-node FCFS batch",
-                     result.mean_response_time,
-                     batch_fcfs_mean_response(demands), 0.01))
+    return _row("single-node FCFS batch",
+                result.mean_response_time,
+                batch_fcfs_mean_response(demands), 0.01)
 
-    # 2. Single-node processor-sharing batch == staircase formula.
+
+def _check_ps_batch():
+    """Single-node processor-sharing batch == staircase formula."""
+    apps = _reference_apps()
+    demands = [(a.total_ops(1) + a.n ** 2) / 1e6 for a in apps]
     cfg = SystemConfig(num_nodes=1, topology="linear",
                        transputer=_ideal_transputer(scheduler_quantum=1e-3))
     result = MulticomputerSystem(cfg, TimeSharing()).run_batch(
         BatchWorkload([JobSpec(a, "x") for a in apps])
     )
-    rows.append(_row("single-node PS batch",
-                     result.mean_response_time,
-                     batch_ps_mean_response(demands), 0.05))
+    return _row("single-node PS batch",
+                result.mean_response_time,
+                batch_ps_mean_response(demands), 0.05)
 
-    # 3. Work conservation: makespan == total work / p, zero comm.
+
+def _check_work_conservation():
+    """Work conservation: makespan == total work / p, zero comm."""
     app = MatMulApplication(64, architecture="adaptive")
     cfg = SystemConfig(num_nodes=4, topology="linear",
                        transputer=_ideal_transputer())
     result = MulticomputerSystem(cfg, StaticSpaceSharing(4)).run_batch(
         BatchWorkload([JobSpec(app, "solo")])
     )
-    rows.append(_row("work conservation (1 job, 4 cpus)",
-                     result.makespan,
-                     app.total_ops(4) / 1e6 / 4, 0.1))
+    return _row("work conservation (1 job, 4 cpus)",
+                result.makespan,
+                app.total_ops(4) / 1e6 / 4, 0.1)
 
-    # 4. Open arrivals on 4 single-node partitions == M/M/4 (Erlang C).
+
+def _mm4_factory(r):
+    ops = max(float(r.exponential(2.0e5)), 1.0)
+    return JobSpec(SyntheticForkJoin(ops, architecture="adaptive",
+                                     message_bytes=0), "exp")
+
+
+def _check_open_mm4():
+    """Open arrivals on 4 single-node partitions == M/M/4 (Erlang C)."""
     rng = np.random.default_rng(11)
     mean_ops = 2.0e5
     arrival_rate = 10.0
-
-    def factory(r):
-        ops = max(float(r.exponential(mean_ops)), 1.0)
-        return JobSpec(SyntheticForkJoin(ops, architecture="adaptive",
-                                         message_bytes=0), "exp")
-
-    arrivals = poisson_arrivals(arrival_rate, 150.0, factory, rng)
+    arrivals = poisson_arrivals(arrival_rate, 150.0, _mm4_factory, rng)
     cfg = SystemConfig(num_nodes=4, topology="linear",
                        transputer=_ideal_transputer())
     result = MulticomputerSystem(cfg, StaticSpaceSharing(1)).run_open(
         arrivals
     )
-    rows.append(_row("open M/M/4 mean response",
-                     result.mean_response_time,
-                     mmc_mean_response(arrival_rate, 1e6 / mean_ops, 4),
-                     0.25))
+    return _row("open M/M/4 mean response",
+                result.mean_response_time,
+                mmc_mean_response(arrival_rate, 1e6 / mean_ops, 4),
+                0.25)
 
-    # 5. Calibrated single-job model tracks the calibrated simulator.
+
+def _check_matmul_model():
+    """Calibrated single-job model tracks the calibrated simulator."""
     config = TransputerConfig()
     n, p = 96, 4
     cfg = SystemConfig(num_nodes=p, topology="ring", transputer=config)
@@ -130,13 +141,45 @@ def validation_report():
     result = MulticomputerSystem(cfg, StaticSpaceSharing(p)).run_batch(
         BatchWorkload([JobSpec(app, "solo")])
     )
-    rows.append(_row("matmul job-time model (p=4, calibrated)",
-                     result.makespan,
-                     matmul_job_time(n, p, config), 0.35))
+    return _row("matmul job-time model (p=4, calibrated)",
+                result.makespan,
+                matmul_job_time(n, p, config), 0.35)
 
-    columns = ["check", "simulated", "predicted", "rel_error", "tolerance",
-               "ok"]
-    return rows, columns
+
+#: The oracle checks, in report order.  Each entry is an independent
+#: module-level function (picklable), so the battery can fan out across
+#: worker processes; rows are always reduced in this order.
+CHECKS = (
+    _check_fcfs_batch,
+    _check_ps_batch,
+    _check_work_conservation,
+    _check_open_mm4,
+    _check_matmul_model,
+)
+
+COLUMNS = ["check", "simulated", "predicted", "rel_error", "tolerance",
+           "ok"]
+
+
+def validation_report(jobs=1):
+    """Run all oracle checks; returns (rows, columns).
+
+    ``jobs`` > 1 farms the independent checks out over a process pool
+    (``0`` = one worker per core); rows come back in :data:`CHECKS`
+    order regardless, so the report is identical to a serial run.
+    """
+    from repro.experiments.parallel import resolve_jobs
+
+    jobs = resolve_jobs(jobs)
+    if jobs > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(jobs, len(CHECKS))) as pool:
+            futures = [pool.submit(check) for check in CHECKS]
+            rows = [f.result() for f in futures]
+    else:
+        rows = [check() for check in CHECKS]
+    return rows, list(COLUMNS)
 
 
 def all_checks_pass(rows):

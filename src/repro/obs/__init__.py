@@ -19,6 +19,7 @@ from repro.obs.metrics import (
     DEFAULT_BOUNDARIES,
     NULL_REGISTRY,
     Counter,
+    FrozenGauge,
     Gauge,
     Histogram,
     MetricsRegistry,
@@ -59,6 +60,7 @@ __all__ = [
     "CpSegment",
     "CriticalPath",
     "DEFAULT_BOUNDARIES",
+    "FrozenGauge",
     "Gauge",
     "Histogram",
     "JOB_PHASES",

@@ -130,6 +130,61 @@ class Gauge:
         return f"<Gauge {self.name}={self.value}>"
 
 
+class FrozenGauge(Gauge):
+    """Immutable, environment-free snapshot of a :class:`Gauge`.
+
+    A live gauge holds a :class:`TimeWeightedValue` bound to its
+    simulation environment, which in turn reaches processes and
+    generators — none of it picklable.  Freezing captures the final
+    value, the exact time-average, the extrema, and the recorded series,
+    producing an instrument that can cross a process boundary (the
+    parallel grid executor ships these back from worker processes).
+    """
+
+    __slots__ = ("_value", "_avg", "_max", "_min", "_stats")
+
+    def __init__(self, gauge, until=None):
+        self.name = gauge.name
+        self._twv = None
+        self.samples = (list(gauge.samples)
+                        if gauge.samples is not None else None)
+        self._max_points = gauge._max_points
+        self.dropped_points = gauge.dropped_points
+        self._value = gauge.value
+        self._avg = gauge.time_average(until)
+        live = gauge._twv
+        self._stats = live is not None
+        self._max = live.max if live is not None else 0.0
+        self._min = live.min if live is not None else 0.0
+
+    @property
+    def value(self):
+        return self._value
+
+    def set(self, value):
+        raise TypeError(f"gauge {self.name!r} is frozen")
+
+    def time_average(self, until=None):
+        return self._avg
+
+    def to_dict(self):
+        out = {
+            "type": "gauge",
+            "value": self._value,
+            "time_average": self._avg,
+        }
+        if self._stats:
+            out["max"] = self._max
+            out["min"] = self._min
+        if self.samples is not None:
+            out["points"] = len(self.samples)
+            out["dropped_points"] = self.dropped_points
+        return out
+
+    def __repr__(self):
+        return f"<FrozenGauge {self.name}={self._value}>"
+
+
 class Histogram:
     """Distribution over fixed log-scale buckets (exactly mergeable).
 
@@ -295,6 +350,28 @@ class MetricsRegistry:
                 merged = Histogram(f"{prefix}*", boundaries=inst.boundaries)
             merged.merge(inst)
         return merged
+
+    def detach(self, until=None):
+        """An environment-free, picklable snapshot of this registry.
+
+        Counters and histograms are carried over as-is (they hold no
+        environment reference); live gauges are frozen into
+        :class:`FrozenGauge` snapshots with their time-averages
+        evaluated at ``until`` (default: now).  The result supports the
+        whole read-side registry API — including :meth:`merge`, which
+        skips gauges by contract — so exporters and reports accept it
+        anywhere they accept a live registry.
+        """
+        clone = MetricsRegistry(env=None, series=self.series,
+                                max_series_points=self.max_series_points)
+        for name, inst in self._instruments.items():
+            if isinstance(inst, FrozenGauge):
+                clone._instruments[name] = inst
+            elif isinstance(inst, Gauge):
+                clone._instruments[name] = FrozenGauge(inst, until=until)
+            else:
+                clone._instruments[name] = inst
+        return clone
 
     def merge(self, other):
         """In-place merge of another registry (cross-run aggregation).

@@ -48,6 +48,23 @@ class Telemetry:
         """``on_transition`` hook wiring job lifecycle into the recorder."""
         return self.recorder.job_observer()
 
+    def detach(self):
+        """An environment-free, picklable snapshot of this telemetry.
+
+        The live object holds ``env`` (whose agenda reaches generator
+        frames — unpicklable); the detached clone drops it, keeps the
+        recorder (plain data), and freezes the metrics registry via
+        :meth:`MetricsRegistry.detach`.  Everything the exporters and
+        reports read — ``recorder``, ``metrics``, :meth:`summary` —
+        works identically on the clone, so worker processes of the
+        parallel grid executor ship these back to the parent.
+        """
+        clone = Telemetry.__new__(Telemetry)
+        clone.env = None
+        clone.recorder = self.recorder
+        clone.metrics = self.metrics.detach()
+        return clone
+
     # -- summaries -------------------------------------------------------
     def summary(self):
         """Flat dict for run reports and the CLI footer."""

@@ -144,8 +144,15 @@ class Environment:
                 until = Event(self)
                 until._ok = True
                 until._value = None
-                # URGENT so the deadline fires before same-time model events.
-                heappush(self._queue, (at, URGENT, -1, until))
+                # URGENT so the deadline fires before same-time NORMAL
+                # model events.  The sequence number comes from the same
+                # monotone counter as every other agenda entry: a
+                # hard-coded sentinel (e.g. -1) could tie with another
+                # same-time deadline and fall through to comparing the
+                # Event objects themselves, breaking the class's
+                # determinism guarantee.
+                heappush(self._queue,
+                         (at, URGENT, next(self._seq), until))
             elif until.callbacks is None:
                 # Already processed.
                 if until._ok:
@@ -173,13 +180,15 @@ class Environment:
 
         Returns the number of events processed during this call.  A
         ``max_events`` bound turns runaway models into a diagnosable
-        :class:`SimulationError` instead of a hang.
+        :class:`SimulationError` instead of a hang.  The bound is exact:
+        at most ``max_events`` events are processed before raising.
         """
         start = self.events_processed
         while self._queue:
-            self.step()
-            if max_events is not None and self.events_processed - start > max_events:
+            if (max_events is not None
+                    and self.events_processed - start >= max_events):
                 raise SimulationError(f"exceeded {max_events} events")
+            self.step()
         return self.events_processed - start
 
     def __repr__(self):

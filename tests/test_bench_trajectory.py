@@ -128,3 +128,21 @@ def test_checked_in_baseline_is_valid(tmp_path):
     assert doc["scale"] == "smoke"
     assert [s["figure"] for s in doc["scenarios"]] == [3, 4, 5, 6]
     assert doc["calibration"] is not None
+
+
+def test_run_scenarios_parallel_records_both_wall_clocks():
+    scenarios = run_scenarios(scale_name="smoke", figures=(6,), jobs=2)
+    (s,) = scenarios
+    assert s["wall_s"] > 0
+    assert s["parallel_wall_s"] > 0
+    assert s["parallel_jobs"] == 2
+    assert s["parallel_matches_serial"] is True
+    doc = bench_document(scenarios, scale_name="smoke")
+    assert doc["parallel_total_wall_s"] == pytest.approx(s["parallel_wall_s"])
+    assert doc["parallel_jobs"] == 2
+    assert doc["parallel_speedup"] == pytest.approx(
+        s["wall_s"] / s["parallel_wall_s"])
+    # Serial runs keep producing documents without the parallel fields.
+    serial_doc = bench_document([{k: v for k, v in s.items()
+                                  if not k.startswith("parallel_")}])
+    assert "parallel_speedup" not in serial_doc

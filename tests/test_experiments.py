@@ -176,3 +176,13 @@ def test_cli_telemetry_exports(capsys, tmp_path):
 def test_cli_unknown_ablation():
     with pytest.raises(SystemExit):
         cli_main(["--ablation", "nonexistent"])
+
+
+def test_cli_jobs_parallel_produces_identical_csv(tmp_path):
+    serial_csv = tmp_path / "serial.csv"
+    parallel_csv = tmp_path / "parallel.csv"
+    assert cli_main(["--figure", "6", "--scale", "smoke",
+                     "--csv", str(serial_csv)]) == 0
+    assert cli_main(["--figure", "6", "--scale", "smoke", "--jobs", "2",
+                     "--csv", str(parallel_csv)]) == 0
+    assert serial_csv.read_text() == parallel_csv.read_text()

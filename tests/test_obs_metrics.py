@@ -233,3 +233,52 @@ def test_telemetry_object_populated_when_enabled():
     summary = tel.summary()
     assert summary["events"] == len(tel.recorder)
     assert "dropped" in summary
+
+
+# -- detached (picklable) registries -------------------------------------
+def test_registry_detach_freezes_gauges_and_pickles():
+    import pickle
+
+    from repro.obs.metrics import FrozenGauge
+    from repro.sim import Environment
+
+    env = Environment()
+    reg = MetricsRegistry(env=env)
+    reg.counter("jobs").inc(3)
+    reg.histogram("lat").observe(0.5)
+    gauge = reg.gauge("queue")
+    gauge.set(2.0)
+    env.timeout(1)
+    env.run_all()
+
+    detached = reg.detach()
+    frozen = detached.get("queue")
+    assert isinstance(frozen, FrozenGauge)
+    assert frozen.value == 2.0
+    assert frozen.time_average() == gauge.time_average()
+    assert detached.get("jobs").value == 3
+    assert "queue" in detached.gauges()
+    with pytest.raises(TypeError, match="frozen"):
+        frozen.set(5.0)
+
+    clone = pickle.loads(pickle.dumps(detached))
+    assert clone.to_dict() == detached.to_dict()
+    # Detaching twice is stable (frozen gauges pass through).
+    assert detached.detach().to_dict() == detached.to_dict()
+
+
+def test_detached_registry_merges_like_a_live_one():
+    from repro.sim import Environment
+
+    env = Environment()
+    reg = MetricsRegistry(env=env)
+    reg.counter("jobs").inc(2)
+    reg.histogram("lat").observe(1.0)
+    reg.gauge("queue").set(4.0)
+
+    combined = MetricsRegistry(env=None, series=False)
+    combined.merge(reg.detach())
+    combined.merge(reg.detach())
+    assert combined.get("jobs").value == 4
+    assert combined.get("lat").count == 2
+    assert combined.get("queue") is None  # gauges skipped by contract

@@ -207,3 +207,52 @@ def test_deeply_nested_process_chain():
         return value + 1
 
     assert env.run(until=env.process(level(env, 50))) == 51
+
+
+# -- run_all bound exactness (regression) --------------------------------
+def test_run_all_max_events_bound_is_exact():
+    """The bound used to let N+1 events through before raising."""
+    env = Environment()
+    for _ in range(5):
+        env.timeout(0)
+    with pytest.raises(SimulationError, match="exceeded 4"):
+        env.run_all(max_events=4)
+    assert env.events_processed == 4  # not 5
+
+
+def test_run_all_processes_exactly_max_events_without_raising():
+    env = Environment()
+    for _ in range(5):
+        env.timeout(0)
+    assert env.run_all(max_events=5) == 5
+
+
+# -- numeric-deadline determinism (regression) ---------------------------
+def test_numeric_until_draws_from_the_sequence_counter():
+    """run(until=<number>) used to push a hard-coded sequence of -1,
+    bypassing the monotone counter the class documents as its
+    determinism guarantee (two same-time deadlines would tie and fall
+    through to comparing Event objects)."""
+    env = Environment()
+    env.run(until=3.0)  # the deadline consumes sequence number 0
+    env.timeout(1)
+    _time, _priority, seq, _event = env._queue[0]
+    assert seq >= 1
+
+
+def test_numeric_until_preserves_fifo_for_same_time_urgent_events():
+    """An URGENT event scheduled *before* run(until=t) at the same time
+    is processed before the deadline (FIFO among same-time URGENT
+    entries); the old -1 sentinel jumped the deadline ahead of it."""
+    from repro.sim.events import URGENT
+
+    env = Environment()
+    fired = []
+    ev = env.event()
+    ev._ok = True
+    ev._value = None
+    ev.callbacks.append(lambda e: fired.append("urgent"))
+    env.schedule(ev, priority=URGENT, delay=5.0)
+    env.run(until=5.0)
+    assert fired == ["urgent"]
+    assert env.now == 5.0

@@ -36,3 +36,10 @@ def test_cli_topologies(capsys):
 def test_cli_still_requires_some_action():
     with pytest.raises(SystemExit):
         cli_main([])
+
+
+def test_validation_report_parallel_matches_serial():
+    serial_rows, columns = validation_report()
+    parallel_rows, parallel_columns = validation_report(jobs=2)
+    assert parallel_columns == columns
+    assert parallel_rows == serial_rows
