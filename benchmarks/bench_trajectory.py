@@ -67,11 +67,15 @@ def parse_args(argv):
 
 def main(argv=None):
     args = parse_args(argv if argv is not None else sys.argv[1:])
+    from pathlib import Path
+
     from repro.experiments.bench_json import (
         bench_document,
         calibrate,
         compare,
         load_bench,
+        load_trajectory,
+        run_id_of,
         run_scenarios,
         write_bench,
     )
@@ -94,11 +98,25 @@ def main(argv=None):
                      f"match={s['parallel_matches_serial']})")
         print(line)
 
-    doc = bench_document(scenarios, scale_name=args.scale,
-                         calibration=calibration)
+    # Discover the prior documents in the output directory so the new
+    # record embeds its position in the trajectory (oldest first).
     out = args.out or f"BENCH_{time.strftime('%Y-%m-%d')}.json"
+    out_dir = Path(out).resolve().parent
+    trajectory = load_trajectory(out_dir, strict=False)
+    prior_ids = [run_id_of(d) for p, d in trajectory
+                 if p != Path(out).resolve()]
+    date = time.strftime("%Y-%m-%d")
+    run_id = date
+    suffix = 2
+    while run_id in prior_ids:
+        run_id = f"{date}.{suffix}"
+        suffix += 1
+    doc = bench_document(scenarios, scale_name=args.scale,
+                         calibration=calibration, date=date,
+                         run_id=run_id, prior_runs=prior_ids)
     write_bench(doc, out)
-    print(f"wrote {out} (total wall {doc['total_wall_s']:.2f}s)")
+    print(f"wrote {out} (total wall {doc['total_wall_s']:.2f}s, "
+          f"run {run_id}, {len(prior_ids)} prior run(s) in trajectory)")
     if "parallel_total_wall_s" in doc:
         print(f"parallel total {doc['parallel_total_wall_s']:.2f}s "
               f"({doc['parallel_jobs']} jobs, "

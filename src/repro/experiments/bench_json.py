@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import json
 import time
+from pathlib import Path
 
 #: Document schema identifier; bump on incompatible layout changes.
 SCHEMA = "repro-bench/1"
@@ -120,7 +121,7 @@ def run_scenarios(scale_name="smoke", figures=DEFAULT_FIGURES, jobs=None):
 
 
 def bench_document(scenarios, scale_name="smoke", calibration=None,
-                   date=None):
+                   date=None, run_id=None, prior_runs=None):
     """Assemble the schema-versioned benchmark document.
 
     When the scenarios carry parallel timings (``run_scenarios`` with
@@ -129,15 +130,24 @@ def bench_document(scenarios, scale_name="smoke", calibration=None,
     ``parallel_speedup`` (serial total / parallel total).  These fields
     are optional in the schema, so documents from serial runs — and
     older baselines — still load and compare.
+
+    ``run_id`` names this run in the trajectory (defaults to the date);
+    ``prior_runs``, when given, embeds the ordered run ids of the
+    documents that preceded this one (:func:`load_trajectory` discovers
+    them), so every document records where it sits in the series.
     """
+    date = date or time.strftime("%Y-%m-%d")
     doc = {
         "schema": SCHEMA,
-        "date": date or time.strftime("%Y-%m-%d"),
+        "date": date,
+        "run_id": run_id or date,
         "scale": scale_name,
         "calibration": calibration,
         "total_wall_s": sum(s["wall_s"] for s in scenarios),
         "scenarios": scenarios,
     }
+    if prior_runs is not None:
+        doc["prior_runs"] = list(prior_runs)
     parallel = [s for s in scenarios if "parallel_wall_s" in s]
     if parallel and len(parallel) == len(scenarios):
         par_total = sum(s["parallel_wall_s"] for s in parallel)
@@ -174,7 +184,58 @@ def load_bench(path):
                 raise ValueError(
                     f"{path}: scenario record missing {key!r}"
                 )
+    if "prior_runs" in doc and not isinstance(doc["prior_runs"], list):
+        raise ValueError(f"{path}: prior_runs must be a list of run ids")
     return doc
+
+
+def run_id_of(doc):
+    """The run id naming a document in the trajectory (date fallback)."""
+    return str(doc.get("run_id") or doc.get("date", "?"))
+
+
+def load_trajectory(results_dir, pattern="BENCH_*.json", strict=True):
+    """Discover the benchmark trajectory recorded in a directory.
+
+    Globs ``BENCH_*.json`` under ``results_dir``, validates each
+    document's schema version (:func:`load_bench`), and returns
+    ``[(path, doc), ...]`` ordered by the schema timestamp (``date``,
+    then ``run_id``, then filename as tie-breakers) — oldest first, so
+    the last entry is the newest run.  With ``strict=False`` documents
+    that fail validation are skipped instead of raising, which is what
+    run-discovery callers (the bench script, the run differ) want when
+    a directory mixes hand-edited files in.
+    """
+    trajectory = []
+    for path in sorted(Path(results_dir).glob(pattern)):
+        try:
+            doc = load_bench(path)
+        except (OSError, ValueError):
+            if strict:
+                raise
+            continue
+        trajectory.append((path, doc))
+    trajectory.sort(key=lambda item: (item[1].get("date", ""),
+                                      run_id_of(item[1]), item[0].name))
+    return trajectory
+
+
+def trajectory_series(docs):
+    """Flatten bench documents into the diff report's trajectory rows."""
+    series = []
+    for doc in docs:
+        if not doc:
+            continue
+        wall, normalised = _normalised_wall(doc)
+        series.append({
+            "run_id": run_id_of(doc),
+            "date": doc.get("date"),
+            "scale": doc.get("scale"),
+            "total_wall_s": doc.get("total_wall_s"),
+            "normalised_wall": wall if normalised else None,
+            "prior_runs": list(doc.get("prior_runs", [])),
+        })
+    return series
 
 
 def _normalised_wall(doc):

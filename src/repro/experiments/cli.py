@@ -11,6 +11,10 @@ Examples::
         --metrics-out metrics.json
     python -m repro.experiments profile --figure 4 --scale smoke \
         --attrib-out attrib.json --flame-out profile.collapsed
+    python -m repro.experiments --figure all --jobs 0 \
+        --sweep-log sweep.jsonl --heartbeat
+    python -m repro.experiments diff baseline/ candidate/ \
+        --report-out diff.txt --json-out diff.json --fail-on-regression
 """
 
 from __future__ import annotations
@@ -40,10 +44,18 @@ def _parse_args(argv):
                     "Dandamudi & Majumdar (IPPS 1997).",
     )
     parser.add_argument(
-        "command", nargs="?", choices=("profile",), default=None,
+        "command", nargs="?", choices=("profile", "diff"), default=None,
         help="'profile' runs the causal profiler over the selected "
              "figures: wait-state attribution per policy, critical "
-             "paths, and optional flame/attribution exports",
+             "paths, and optional flame/attribution exports; 'diff' "
+             "compares two recorded runs (BENCH json / --metrics-out / "
+             "--attrib-out documents, or directories of them) and "
+             "localises significant regressions to wait-state buckets",
+    )
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="(diff) the baseline and candidate runs: each a recorded "
+             "JSON document or a directory containing them",
     )
     parser.add_argument(
         "--figure", help="figure number 3-6, or 'all'", default=None
@@ -86,6 +98,50 @@ def _parse_args(argv):
              "(open with speedscope or flamegraph.pl)",
     )
     parser.add_argument(
+        "--sweep-log", default=None, metavar="PATH",
+        help="write the sweep's lifecycle (cell start/finish/retry/"
+             "error with wall-clock, worker id, events/sec) as a "
+             "repro-sweep/1 JSONL stream",
+    )
+    parser.add_argument(
+        "--heartbeat", dest="heartbeat", action="store_true",
+        default=None,
+        help="force the live stderr progress line (completed/total "
+             "cells, rate, ETA) on; default: on when stderr is a "
+             "terminal",
+    )
+    parser.add_argument(
+        "--no-heartbeat", dest="heartbeat", action="store_false",
+        help="force the live stderr progress line off",
+    )
+    parser.add_argument(
+        "--report-out", default=None, metavar="PATH",
+        help="(diff) also write the human-readable diff report here",
+    )
+    parser.add_argument(
+        "--json-out", default=None, metavar="PATH",
+        help="(diff) write the structured repro-diff/1 document here",
+    )
+    parser.add_argument(
+        "--fail-on-regression", action="store_true",
+        help="(diff) exit 1 when a significant regression is found, "
+             "3 when an attribution profile is truncated (unsound)",
+    )
+    parser.add_argument(
+        "--min-effect", type=float, default=None, metavar="FRAC",
+        help="(diff) smallest relative mean-RT change that counts as "
+             "significant (default 0.01)",
+    )
+    parser.add_argument(
+        "--wall-tolerance", type=float, default=None, metavar="FRAC",
+        help="(diff) allowed fractional wall-clock regression "
+             "(default 0.20, calibration-normalised when possible)",
+    )
+    parser.add_argument(
+        "--resamples", type=int, default=None, metavar="N",
+        help="(diff) bootstrap resamples per cell (default 2000)",
+    )
+    parser.add_argument(
         "--chart", action="store_true",
         help="also render figures as ASCII bar charts",
     )
@@ -104,11 +160,42 @@ def _parse_args(argv):
     args = parser.parse_args(argv)
     if args.command == "profile" and args.figure is None:
         args.figure = "4"  # the paper's central comparison
-    if not (args.figure or args.ablation or args.sensitivity
+    if args.command == "diff":
+        if len(args.paths) != 2:
+            parser.error("diff takes exactly two run paths: "
+                         "diff <baseline> <candidate>")
+    elif args.paths:
+        parser.error(f"unexpected positional arguments {args.paths}")
+    if args.command != "diff" and not (
+            args.figure or args.ablation or args.sensitivity
             or args.topologies or args.validate):
-        parser.error("pass a command (profile), --figure, --ablation, "
-                     "--sensitivity, --topologies and/or --validate")
+        parser.error("pass a command (profile, diff), --figure, "
+                     "--ablation, --sensitivity, --topologies and/or "
+                     "--validate")
     return args
+
+
+def _sweep_observer(args):
+    """Build the sweep observer from ``--sweep-log``/``--heartbeat``.
+
+    Returns ``None`` when neither is active — the executors then skip
+    every hook, so an unobserved sweep is byte-identical to the old
+    behaviour.  The heartbeat defaults to "on when stderr is a
+    terminal" and writes only to stderr, never stdout.
+    """
+    from repro.obs.sweeplog import Heartbeat, MultiObserver, SweepLog
+
+    observers = []
+    if args.sweep_log:
+        observers.append(SweepLog(args.sweep_log))
+    heartbeat = args.heartbeat
+    if heartbeat is None:
+        heartbeat = sys.stderr.isatty()
+    if heartbeat:
+        observers.append(Heartbeat())
+    if not observers:
+        return None
+    return observers[0] if len(observers) == 1 else MultiObserver(observers)
 
 
 def _run_figures(args, out=None):
@@ -121,8 +208,21 @@ def _run_figures(args, out=None):
                  or args.flame_out)
     telemetry_wanted = bool(args.trace_out or args.metrics_out or profiling)
     jobs = resolve_jobs(args.jobs)
+    observer = _sweep_observer(args)
+    try:
+        return _run_figure_sweep(args, numbers, scale, jobs, observer,
+                                 telemetry_wanted, profiling, out)
+    finally:
+        # One observer watches every figure's sweep; its resources
+        # (the sweep-log stream) outlive any single sweep.
+        if observer is not None:
+            observer.close()
+
+
+def _run_figure_sweep(args, numbers, scale, jobs, observer,
+                      telemetry_wanted, profiling, out):
     all_cells = []
-    all_telemetry = []
+    all_telemetry = []  # (figure, label, policy, Telemetry)
     all_errors = []
     for number in numbers:
         spec = figure_spec(number)
@@ -138,20 +238,27 @@ def _run_figures(args, out=None):
             errors = []
             cells = run_figure_parallel(spec, scale, jobs=jobs,
                                         progress=progress,
-                                        telemetry_sink=sink, errors=errors)
+                                        telemetry_sink=sink, errors=errors,
+                                        observer=observer)
             for err in errors:
                 print(f"  {err.describe()}", file=out)
             all_errors.extend(errors)
         else:
             cells = run_figure(spec, scale, progress=progress,
-                               telemetry_sink=sink)
-        print(format_grid(cells, title=f"Figure {number} ({spec.title})"),
-              file=out)
+                               telemetry_sink=sink, observer=observer)
+        if cells:
+            print(format_grid(cells,
+                              title=f"Figure {number} ({spec.title})"),
+                  file=out)
+        else:
+            print(f"Figure {number} ({spec.title}): no cells succeeded",
+                  file=out)
         if sink:
             print(format_telemetry_summary(sink), file=out)
             if profiling:
                 print(format_attribution_summary(sink), file=out)
-            all_telemetry.extend(sink)
+            all_telemetry.extend((number, label, policy, tel)
+                                 for label, policy, tel in sink)
         if args.chart:
             from repro.trace import render_series
 
@@ -172,19 +279,29 @@ def _run_figures(args, out=None):
     if profiling and (args.attrib_out or args.flame_out):
         _write_profile(args, all_telemetry, out)
     if all_errors:
-        print(f"{len(all_errors)} cell(s) FAILED", file=out)
+        # Structured failure summary: emitted whether the sweep failed
+        # wholesale or only partially, so partial successes never read
+        # as clean runs.
+        print(f"=== {len(all_errors)} cell(s) FAILED "
+              f"({len(all_cells)} succeeded)", file=out)
+        for err in all_errors:
+            print(f"  {err.describe()}", file=out)
     return len(all_errors)
 
 
 def _write_telemetry(args, entries, out):
-    """Export recorded telemetry (Perfetto trace + metrics JSON)."""
+    """Export recorded telemetry (Perfetto trace + metrics JSON).
+
+    ``entries`` is the figure-tagged sweep telemetry:
+    ``(figure, label, policy, Telemetry)`` tuples.
+    """
     if not entries:
         print("no telemetry recorded", file=out)
         return
     if args.trace_out:
         from repro.obs import write_perfetto
 
-        label, policy, tel = entries[-1]
+        figure, label, policy, tel = entries[-1]
         n = write_perfetto(tel, args.trace_out)
         summary = tel.summary()
         print(f"wrote {args.trace_out} ({n} trace events from cell "
@@ -194,19 +311,24 @@ def _write_telemetry(args, entries, out):
         from repro.experiments.parallel import merged_metrics
 
         doc = {
+            "schema": "repro-metrics/1",
             "cells": [
                 {
+                    "figure": figure,
                     "label": label,
                     "policy": policy,
                     "summary": tel.summary(),
                     "metrics": tel.metrics.to_dict(),
                 }
-                for label, policy, tel in entries
+                for figure, label, policy, tel in entries
             ],
             # Sweep-wide aggregate: counters add, histograms merge
             # exactly (identical whether cells ran serially or on a
             # worker pool).
-            "combined": merged_metrics(entries).to_dict(),
+            "combined": merged_metrics(
+                [(label, policy, tel)
+                 for _fig, label, policy, tel in entries]
+            ).to_dict(),
         }
         with open(args.metrics_out, "w") as fh:
             json.dump(doc, fh, indent=1)
@@ -216,30 +338,38 @@ def _write_telemetry(args, entries, out):
 
 
 def _write_profile(args, entries, out):
-    """Export the causal profile (attribution JSON + collapsed stacks)."""
+    """Export the causal profile (attribution JSON + collapsed stacks).
+
+    Every attribution cell carries its figure and the recorder's
+    dropped-event count: the run differ refuses to trust bucket deltas
+    built from a truncated trace, so the evidence of truncation must
+    travel with the profile.
+    """
     from repro.obs import collapsed_lines, profile_run
 
     if not entries:
         print("no telemetry recorded to profile", file=out)
         return
-    profiles = [(label, policy, profile_run(tel))
-                for label, policy, tel in entries]
+    profiles = [(figure, label, policy, profile_run(tel),
+                 tel.recorder.dropped)
+                for figure, label, policy, tel in entries]
     if args.attrib_out:
         doc = {
             "schema": "repro-profile/1",
             "cells": [
-                {"label": label, "policy": policy, **prof.to_dict()}
-                for label, policy, prof in profiles
+                {"figure": figure, "label": label, "policy": policy,
+                 "dropped": dropped, **prof.to_dict()}
+                for figure, label, policy, prof, dropped in profiles
             ],
         }
         with open(args.attrib_out, "w") as fh:
             json.dump(doc, fh, indent=1)
-        jobs = sum(len(p.jobs) for _l, _p, p in profiles)
+        jobs = sum(len(p.jobs) for _f, _l, _p, p, _d in profiles)
         print(f"wrote {args.attrib_out} ({len(profiles)} cells, "
               f"{jobs} jobs attributed)", file=out)
     if args.flame_out:
         lines = []
-        for label, policy, prof in profiles:
+        for _figure, label, policy, prof, _dropped in profiles:
             lines.extend(
                 collapsed_lines(prof.paths, prefix=f"{label}:{policy}")
             )
@@ -249,6 +379,54 @@ def _write_profile(args, entries, out):
                 fh.write("\n")
         print(f"wrote {args.flame_out} ({len(lines)} stacks; open with "
               f"speedscope or flamegraph.pl)", file=out)
+
+
+def _run_diff(args, out=None):
+    """``diff <baseline> <candidate>``: the run-diff regression explainer.
+
+    Returns the process exit code: 0 clean, 1 significant regression
+    (with ``--fail-on-regression``), 3 when an attribution profile was
+    built from a truncated trace — those deltas are unsound and must
+    not pass a gate silently.
+    """
+    out = out or sys.stdout
+    from repro.obs.diff import (
+        DEFAULT_MIN_EFFECT,
+        DEFAULT_RESAMPLES,
+        DEFAULT_WALL_TOLERANCE,
+        diff_runs,
+        format_diff_report,
+        load_run_bundle,
+    )
+
+    base_path, cand_path = args.paths
+    try:
+        baseline = load_run_bundle(base_path)
+        candidate = load_run_bundle(cand_path)
+    except (OSError, ValueError) as exc:
+        print(f"diff: {exc}", file=sys.stderr)
+        return 2
+    result = diff_runs(
+        baseline, candidate,
+        min_effect=(args.min_effect if args.min_effect is not None
+                    else DEFAULT_MIN_EFFECT),
+        resamples=(args.resamples if args.resamples is not None
+                   else DEFAULT_RESAMPLES),
+        wall_tolerance=(args.wall_tolerance
+                        if args.wall_tolerance is not None
+                        else DEFAULT_WALL_TOLERANCE),
+    )
+    report = format_diff_report(result)
+    print(report, end="", file=out)
+    if args.report_out:
+        with open(args.report_out, "w", encoding="utf-8") as fh:
+            fh.write(report)
+        print(f"wrote {args.report_out}", file=out)
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(result.to_dict(), fh, indent=1)
+        print(f"wrote {args.json_out}", file=out)
+    return result.exit_code(fail_on_regression=args.fail_on_regression)
 
 
 def _run_ablations(args, out=None):
@@ -328,6 +506,8 @@ def _run_validation(out=None, jobs=1):
 
 def main(argv=None):
     args = _parse_args(argv if argv is not None else sys.argv[1:])
+    if args.command == "diff":
+        return _run_diff(args)
     if args.validate:
         if not _run_validation(jobs=args.jobs):
             return 1

@@ -28,6 +28,7 @@ smoke-sweep diff both enforce this.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
@@ -88,14 +89,26 @@ def resolve_jobs(jobs):
 
 
 def _cell_worker(task, scale, transputer, system_overrides, want_telemetry):
-    """Run one cell in a worker process; return picklable results only."""
+    """Run one cell in a worker process; return picklable results only.
+
+    Alongside the cell and its detached telemetry, the worker reports
+    its own meta-observability sample — host wall-clock for the cell,
+    the worker pid, and the trace-event volume (when telemetry is on) —
+    which the parent feeds to the sweep observer.  Measuring happens
+    entirely outside the simulation, so results are unaffected.
+    """
     sink = [] if want_telemetry else None
+    t0 = time.perf_counter()
     cell = run_cell(scale=scale, transputer=transputer,
                     system_overrides=system_overrides,
                     telemetry_sink=sink, **task)
+    wall = time.perf_counter() - t0
     portable = [(label, policy, tel.detach())
                 for label, policy, tel in (sink or [])]
-    return cell, portable
+    events = (sum(len(tel.recorder) + tel.recorder.dropped
+                  for _l, _p, tel in portable)
+              if want_telemetry else None)
+    return cell, portable, wall, os.getpid(), events
 
 
 def _task_label(task):
@@ -104,7 +117,8 @@ def _task_label(task):
 
 def run_cells_parallel(tasks, scale, jobs=None, transputer=None,
                        system_overrides=None, progress=None,
-                       telemetry_sink=None, errors=None, pool=None):
+                       telemetry_sink=None, errors=None, pool=None,
+                       observer=None):
     """Execute an explicit cell work list across worker processes.
 
     ``tasks`` is a list of :func:`run_cell` kwargs dicts (what
@@ -115,6 +129,12 @@ def run_cells_parallel(tasks, scale, jobs=None, transputer=None,
     :class:`GridExecutionError` is raised so failures never pass
     silently.  Pass ``pool`` to reuse an executor across several grids
     (the bench harness does); otherwise one is created for this call.
+
+    ``observer`` is an optional :class:`repro.obs.sweeplog.SweepObserver`
+    receiving sweep start / cell finish / retry / error / sweep finish
+    callbacks with per-cell host wall-clock, worker pid, and events/sec.
+    Observers are host-side only; ``None`` (the default) skips every
+    hook, so an unobserved sweep runs exactly the code it ran before.
     """
     tasks = list(tasks)
     jobs = resolve_jobs(jobs)
@@ -124,17 +144,21 @@ def run_cells_parallel(tasks, scale, jobs=None, transputer=None,
         pool = ProcessPoolExecutor(max_workers=jobs)
     cells = []
     failures = []
+    if observer is not None:
+        observer.sweep_started(len(tasks), jobs=jobs)
     try:
         args = (scale, transputer, system_overrides, want_telemetry)
         futures = [pool.submit(_cell_worker, task, *args) for task in tasks]
-        for task, future in zip(tasks, futures):
+        for index, (task, future) in enumerate(zip(tasks, futures)):
             attempts = 1
             while True:
                 try:
-                    cell, portable = future.result()
+                    cell, portable, wall, worker, events = future.result()
                 except Exception as exc:  # noqa: BLE001 — reported per cell
                     if attempts < DEFAULT_ATTEMPTS:
                         attempts += 1
+                        if observer is not None:
+                            observer.cell_retry(index, task, repr(exc))
                         future = pool.submit(_cell_worker, task, *args)
                         continue
                     failures.append(CellError(
@@ -146,16 +170,27 @@ def run_cells_parallel(tasks, scale, jobs=None, transputer=None,
                         label=_task_label(task),
                         error=repr(exc), attempts=attempts,
                     ))
+                    if observer is not None:
+                        observer.cell_failed(index, task, repr(exc),
+                                             attempts)
                     break
                 cells.append(cell)
                 if want_telemetry:
                     telemetry_sink.extend(portable)
+                if observer is not None:
+                    eps = (events / wall if events is not None and wall > 0
+                           else None)
+                    observer.cell_finished(index, task, wall_s=wall,
+                                           attempts=attempts, worker=worker,
+                                           events_per_sec=eps)
                 if progress is not None:
                     progress(cell)
                 break
     finally:
         if own_pool:
             pool.shutdown()
+        if observer is not None:
+            observer.sweep_finished()
     if failures:
         if errors is None:
             raise GridExecutionError(failures)
@@ -165,7 +200,8 @@ def run_cells_parallel(tasks, scale, jobs=None, transputer=None,
 
 def run_figure_parallel(spec, scale, jobs=None, transputer=None,
                         system_overrides=None, progress=None,
-                        telemetry_sink=None, errors=None, pool=None):
+                        telemetry_sink=None, errors=None, pool=None,
+                        observer=None):
     """Parallel counterpart of :func:`repro.experiments.runner.run_figure`.
 
     Same cell list, same order, cell-for-cell identical
@@ -176,7 +212,7 @@ def run_figure_parallel(spec, scale, jobs=None, transputer=None,
         enumerate_cells(spec, scale), scale, jobs=jobs,
         transputer=transputer, system_overrides=system_overrides,
         progress=progress, telemetry_sink=telemetry_sink, errors=errors,
-        pool=pool,
+        pool=pool, observer=observer,
     )
 
 

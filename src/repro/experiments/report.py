@@ -23,8 +23,10 @@ def format_grid(cells, title=""):
     ratio column (time-sharing / static) so the winner is immediate.
     """
     series, labels = _series(cells)
+    if not labels:
+        return (title + "\n" if title else "") + "  (no cells)\n"
     policies = list(series)
-    widths = [max(6, *(len(lbl) for lbl in labels))]
+    widths = [max([6, *(len(lbl) for lbl in labels)])]
     header = ["config"] + policies + (["ts/static"]
                                       if {"static", "timesharing"} <= set(policies)
                                       else [])

@@ -185,22 +185,50 @@ def enumerate_cells(spec, scale):
 
 
 def run_figure(spec, scale, transputer=None, system_overrides=None,
-               progress=None, telemetry_sink=None):
+               progress=None, telemetry_sink=None, observer=None):
     """Regenerate one of the paper's figures as a list of GridCells.
 
     The paper's plot has a static and a time-sharing/hybrid series over
     the partition-size x topology grid (see :func:`enumerate_cells` for
     the exact cell list).  For multi-core execution of the same grid
     see :func:`repro.experiments.parallel.run_figure_parallel`.
+
+    ``observer`` is an optional
+    :class:`repro.obs.sweeplog.SweepObserver` receiving per-cell
+    progress callbacks (host wall-clock, events/sec); with the default
+    ``None`` no timing code runs at all.
     """
+    import time
+
+    tasks = enumerate_cells(spec, scale)
     cells = []
-    for task in enumerate_cells(spec, scale):
-        cell = run_cell(
-            scale=scale, transputer=transputer,
-            system_overrides=system_overrides,
-            telemetry_sink=telemetry_sink, **task,
-        )
-        cells.append(cell)
-        if progress is not None:
-            progress(cell)
+    if observer is not None:
+        observer.sweep_started(len(tasks), jobs=1)
+    try:
+        for index, task in enumerate(tasks):
+            sink_mark = (len(telemetry_sink)
+                         if telemetry_sink is not None else 0)
+            t0 = time.perf_counter() if observer is not None else 0.0
+            cell = run_cell(
+                scale=scale, transputer=transputer,
+                system_overrides=system_overrides,
+                telemetry_sink=telemetry_sink, **task,
+            )
+            cells.append(cell)
+            if observer is not None:
+                wall = time.perf_counter() - t0
+                eps = None
+                if telemetry_sink is not None:
+                    events = sum(
+                        len(tel.recorder) + tel.recorder.dropped
+                        for _l, _p, tel in telemetry_sink[sink_mark:]
+                    )
+                    eps = events / wall if wall > 0 else None
+                observer.cell_finished(index, task, wall_s=wall,
+                                       events_per_sec=eps)
+            if progress is not None:
+                progress(cell)
+    finally:
+        if observer is not None:
+            observer.sweep_finished()
     return cells

@@ -14,6 +14,14 @@ code that prefers to hold a registry unconditionally can use the shared
 telemetry cannot perturb simulated time.
 """
 
+from repro.obs.diff import (
+    DiffResult,
+    RunBundle,
+    bootstrap_mean_delta,
+    diff_runs,
+    format_diff_report,
+    load_run_bundle,
+)
 from repro.obs.jsonl import jsonl_lines, jsonl_records, write_jsonl
 from repro.obs.metrics import (
     DEFAULT_BOUNDARIES,
@@ -52,6 +60,13 @@ from repro.obs.spans import (
     register_phase,
     slice_spans,
 )
+from repro.obs.sweeplog import (
+    Heartbeat,
+    MultiObserver,
+    SweepLog,
+    SweepObserver,
+    read_sweep_log,
+)
 from repro.obs.telemetry import Telemetry, attach, registry_of
 
 __all__ = [
@@ -60,19 +75,30 @@ __all__ = [
     "CpSegment",
     "CriticalPath",
     "DEFAULT_BOUNDARIES",
+    "DiffResult",
     "FrozenGauge",
     "Gauge",
+    "Heartbeat",
     "Histogram",
     "JOB_PHASES",
     "JobProfile",
     "MetricsRegistry",
+    "MultiObserver",
     "NULL_REGISTRY",
     "NullRegistry",
     "Profile",
+    "RunBundle",
     "Span",
+    "SweepLog",
+    "SweepObserver",
     "Telemetry",
     "attach",
+    "bootstrap_mean_delta",
     "bucket_names",
+    "diff_runs",
+    "format_diff_report",
+    "load_run_bundle",
+    "read_sweep_log",
     "collapsed_lines",
     "job_spans",
     "jsonl_lines",

@@ -9,7 +9,10 @@ from repro.experiments.bench_json import (
     bench_document,
     compare,
     load_bench,
+    load_trajectory,
+    run_id_of,
     run_scenarios,
+    trajectory_series,
     write_bench,
 )
 
@@ -99,6 +102,98 @@ def test_compare_skips_drift_check_across_scales():
     ok, lines = compare(_doc(scale="smoke"), _doc(scale="paper"))
     assert ok
     assert any("scales differ" in line for line in lines)
+
+
+# -- trajectory discovery ------------------------------------------------
+def _write_run(tmp_path, name, date, run_id=None, prior=None):
+    doc = bench_document([_scenario()], calibration=0.05)
+    doc["date"] = date
+    doc["run_id"] = run_id or date
+    if prior is not None:
+        doc["prior_runs"] = prior
+    return write_bench(doc, tmp_path / name)
+
+
+def test_load_trajectory_sorts_by_schema_timestamp(tmp_path):
+    # Written out of filename order on purpose: the sort key is the
+    # documents' (date, run_id), not the directory listing.
+    _write_run(tmp_path, "BENCH_zzz.json", "2026-08-01")
+    _write_run(tmp_path, "BENCH_aaa.json", "2026-08-03")
+    _write_run(tmp_path, "BENCH_mmm.json", "2026-08-02")
+    _write_run(tmp_path, "BENCH_mm2.json", "2026-08-02", run_id="2026-08-02.2")
+    (tmp_path / "other.json").write_text("{}")  # not BENCH_*: ignored
+    trajectory = load_trajectory(tmp_path)
+    assert [run_id_of(doc) for _p, doc in trajectory] == [
+        "2026-08-01", "2026-08-02", "2026-08-02.2", "2026-08-03"]
+
+
+def test_load_trajectory_strictness(tmp_path):
+    _write_run(tmp_path, "BENCH_good.json", "2026-08-01")
+    (tmp_path / "BENCH_bad.json").write_text('{"schema": "repro-bench/9"}')
+    with pytest.raises(ValueError, match="schema"):
+        load_trajectory(tmp_path)
+    trajectory = load_trajectory(tmp_path, strict=False)
+    assert [p.name for p, _doc in trajectory] == ["BENCH_good.json"]
+
+
+def test_run_id_and_prior_runs_embedding():
+    doc = bench_document([_scenario()], date="2026-08-06")
+    assert doc["run_id"] == "2026-08-06"  # defaults to the date
+    assert "prior_runs" not in doc
+    doc = bench_document([_scenario()], date="2026-08-06",
+                         run_id="2026-08-06.2",
+                         prior_runs=["2026-08-05", "2026-08-06"])
+    assert run_id_of(doc) == "2026-08-06.2"
+    assert doc["prior_runs"] == ["2026-08-05", "2026-08-06"]
+
+
+def test_load_rejects_malformed_prior_runs(tmp_path):
+    doc = _doc()
+    doc["prior_runs"] = "2026-08-05"
+    path = tmp_path / "BENCH_bad.json"
+    path.write_text(json.dumps(doc))
+    with pytest.raises(ValueError, match="prior_runs"):
+        load_bench(path)
+
+
+def test_trajectory_series_rows(tmp_path):
+    with_cal = bench_document([_scenario(wall=2.0)], calibration=0.05,
+                              date="2026-08-05")
+    without = bench_document([_scenario(wall=1.0)], date="2026-08-06",
+                             prior_runs=["2026-08-05"])
+    rows = trajectory_series([with_cal, None, without])
+    assert [r["run_id"] for r in rows] == ["2026-08-05", "2026-08-06"]
+    assert rows[0]["normalised_wall"] == pytest.approx(2.0 / 0.05)
+    assert rows[1]["normalised_wall"] is None
+    assert rows[1]["total_wall_s"] == pytest.approx(1.0)
+    assert rows[1]["prior_runs"] == ["2026-08-05"]
+
+
+def test_bench_script_chains_run_ids_across_runs(tmp_path):
+    """Two same-day runs of the script into one directory: distinct
+    run ids, with the second embedding the first as a prior run."""
+    import importlib.util
+    import pathlib
+
+    script = (pathlib.Path(__file__).resolve().parent.parent
+              / "benchmarks" / "bench_trajectory.py")
+    spec = importlib.util.spec_from_file_location("bench_trajectory",
+                                                  script)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+
+    first = tmp_path / "BENCH_one.json"
+    second = tmp_path / "BENCH_two.json"
+    argv = ["--scale", "smoke", "--figures", "6", "--no-calibration"]
+    assert mod.main(argv + ["--out", str(first)]) == 0
+    assert mod.main(argv + ["--out", str(second)]) == 0
+    doc1, doc2 = load_bench(first), load_bench(second)
+    assert doc1["prior_runs"] == []
+    assert doc2["prior_runs"] == [run_id_of(doc1)]
+    assert run_id_of(doc2) != run_id_of(doc1)
+    trajectory = load_trajectory(tmp_path)
+    assert [p.name for p, _d in trajectory] == [
+        "BENCH_one.json", "BENCH_two.json"]
 
 
 # -- the real harness (one cheap figure) ---------------------------------

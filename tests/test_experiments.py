@@ -186,3 +186,127 @@ def test_cli_jobs_parallel_produces_identical_csv(tmp_path):
     assert cli_main(["--figure", "6", "--scale", "smoke", "--jobs", "2",
                      "--csv", str(parallel_csv)]) == 0
     assert serial_csv.read_text() == parallel_csv.read_text()
+
+
+def test_cli_partial_failure_summarised_and_nonzero(capsys, monkeypatch):
+    """A partially failed --jobs sweep must exit nonzero with a
+    structured error summary, even though some cells succeeded.
+
+    Regression: a partial success used to read as a clean run."""
+    import repro.experiments.cli as cli_mod
+    from repro.experiments.parallel import CellError
+
+    real = cli_mod.run_figure_parallel
+
+    def flaky(spec, scale, *, errors=None, **kwargs):
+        cells = real(spec, scale, errors=errors, **kwargs)
+        errors.append(CellError(
+            figure=spec.number, app=spec.app,
+            architecture=spec.architecture, partition_size=16,
+            topology="mesh", policy="static", label="16M",
+            error="RuntimeError('worker died')", attempts=2))
+        return cells
+
+    monkeypatch.setattr(cli_mod, "run_figure_parallel", flaky)
+    assert cli_main(["--figure", "6", "--scale", "smoke",
+                     "--jobs", "2", "--no-heartbeat"]) == 1
+    out = capsys.readouterr().out
+    assert "Figure 6" in out  # the successful cells still render
+    assert "=== 1 cell(s) FAILED (10 succeeded)" in out
+    assert ("cell 16M [static] figure 6 FAILED after 2 attempts: "
+            "RuntimeError('worker died')") in out
+
+
+def test_cli_all_cells_failed_still_summarises(capsys, monkeypatch):
+    """Total failure: no grid table, but the summary and exit code
+    survive (format_grid used to crash on an empty cell list)."""
+    import repro.experiments.cli as cli_mod
+    from repro.experiments.parallel import CellError
+
+    def broken(spec, scale, *, errors=None, **kwargs):
+        errors.append(CellError(
+            figure=spec.number, app=spec.app,
+            architecture=spec.architecture, partition_size=1,
+            topology="linear", policy="static", label="1L",
+            error="RuntimeError('boom')", attempts=2))
+        return []
+
+    monkeypatch.setattr(cli_mod, "run_figure_parallel", broken)
+    assert cli_main(["--figure", "6", "--scale", "smoke",
+                     "--jobs", "2", "--no-heartbeat"]) == 1
+    out = capsys.readouterr().out
+    assert "no cells succeeded" in out
+    assert "=== 1 cell(s) FAILED (0 succeeded)" in out
+
+
+def test_format_grid_empty():
+    assert "(no cells)" in format_grid([], title="empty")
+
+
+# -- the diff subcommand -------------------------------------------------
+def _attrib_file(tmp_path, name, rts, dropped=0):
+    doc = {"schema": "repro-profile/1", "cells": [{
+        "figure": 4, "label": "4L", "policy": "static",
+        "dropped": dropped,
+        "jobs": [{"job_id": i, "response_time": rt,
+                  "buckets": {"executing": rt}}
+                 for i, rt in enumerate(rts)],
+    }]}
+    path = tmp_path / name
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+def test_cli_diff_argument_validation(capsys):
+    with pytest.raises(SystemExit):
+        cli_main(["diff", "only-one-path"])
+    with pytest.raises(SystemExit):
+        cli_main(["--figure", "4", "stray-positional"])
+
+
+def test_cli_diff_load_error_exits_2(capsys):
+    assert cli_main(["diff", "/nonexistent/a", "/nonexistent/b"]) == 2
+    assert "diff:" in capsys.readouterr().err
+
+
+def test_cli_diff_clean_and_regressed(capsys, tmp_path):
+    base = _attrib_file(tmp_path, "base.json", [1.0, 2.0, 3.0])
+    same = _attrib_file(tmp_path, "same.json", [1.0, 2.0, 3.0])
+    slow = _attrib_file(tmp_path, "slow.json", [1.5, 3.0, 4.5])
+
+    assert cli_main(["diff", base, same, "--fail-on-regression"]) == 0
+    out = capsys.readouterr().out
+    assert "verdict: OK" in out
+
+    report = tmp_path / "diff.txt"
+    doc_out = tmp_path / "diff.json"
+    assert cli_main(["diff", base, slow, "--fail-on-regression",
+                     "--report-out", str(report),
+                     "--json-out", str(doc_out)]) == 1
+    out = capsys.readouterr().out
+    assert "verdict: REGRESSED" in out
+    assert "attributed to: executing" in out
+    assert "verdict: REGRESSED" in report.read_text()
+    doc = json.loads(doc_out.read_text())
+    assert doc["schema"] == "repro-diff/1"
+    assert doc["regressed"] is True
+    # Without the gate flag the regression is reported but exits 0.
+    assert cli_main(["diff", base, slow]) == 0
+
+
+def test_cli_diff_truncated_trace_exits_3(capsys, tmp_path):
+    base = _attrib_file(tmp_path, "base.json", [1.0, 2.0, 3.0])
+    trunc = _attrib_file(tmp_path, "trunc.json", [1.5, 3.0, 4.5],
+                         dropped=9)
+    assert cli_main(["diff", base, trunc, "--fail-on-regression"]) == 3
+    assert "UNSOUND" in capsys.readouterr().out
+
+
+def test_cli_diff_min_effect_override(capsys, tmp_path):
+    base = _attrib_file(tmp_path, "base.json", [1.0, 2.0, 3.0])
+    slight = _attrib_file(tmp_path, "slight.json", [1.05, 2.1, 3.15])
+    assert cli_main(["diff", base, slight, "--fail-on-regression",
+                     "--min-effect", "0.20"]) == 0
+    assert cli_main(["diff", base, slight, "--fail-on-regression",
+                     "--min-effect", "0.01"]) == 1
+    capsys.readouterr()

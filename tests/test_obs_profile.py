@@ -217,6 +217,68 @@ def test_process_spans_executing_and_preempted():
     assert {jp.job_id for jp in prof.jobs} <= tracked_jobs
 
 
+# -- export edge cases ---------------------------------------------------
+def test_collapsed_lines_skip_zero_duration_segments():
+    """Zero-width legs round to 0 microseconds and must not emit
+    zero-count stacks (flamegraph.pl rejects them)."""
+    paths = [
+        type("CP", (), {"name": "job0", "segments": (
+            CpSegment("executing", 0.0, 0.0, 0),      # exactly zero
+            CpSegment("transfer", 0.0, 4e-8, 0),      # rounds to zero
+            CpSegment("executing", 0.0, 1e-3, 1),     # survives
+        )})(),
+    ]
+    lines = collapsed_lines(paths)
+    assert lines == ["job0;p1;executing 1000"]
+
+
+def test_single_job_batch_profiles_cleanly(tmp_path):
+    """A one-job batch: attribution, critical path, and exports all
+    work without the usual multi-job structure."""
+    cfg = SystemConfig(num_nodes=8, topology="linear", telemetry=True)
+    system = MulticomputerSystem(cfg, StaticSpaceSharing(4))
+    batch = standard_batch("matmul", architecture="adaptive",
+                           num_small=0, num_large=1,
+                           small_size=16, large_size=32)
+    system.run_batch(batch)
+    prof = profile_run(system.telemetry)
+    assert len(prof.jobs) == 1
+    assert prof.skipped == ()
+    prof.check_invariants(rel_tol=1e-6)
+    assert prof.mean_response_time() == prof.jobs[0].response_time
+    (cp,) = prof.paths
+    assert cp.segments
+    lines = collapsed_lines(prof.paths)
+    assert lines
+    doc = prof.to_dict()
+    assert doc["num_jobs"] == 1
+    assert json.dumps(doc)
+
+
+def test_critical_path_when_finisher_receives_no_messages():
+    """A single-process job's finishing process never receives a
+    message: the backward walk must still tile the whole execution
+    window from the process's own exec/wait spans."""
+    cfg = SystemConfig(num_nodes=4, topology="linear", telemetry=True)
+    system = MulticomputerSystem(cfg, StaticSpaceSharing(1))
+    batch = standard_batch("matmul", architecture="adaptive",
+                           num_small=2, num_large=0,
+                           small_size=16, large_size=32)
+    system.run_batch(batch)
+    prof = profile_run(system.telemetry)
+    assert prof.skipped == ()
+    prof.check_invariants(rel_tol=1e-6)
+    for jp, cp in zip(prof.jobs, prof.paths):
+        # One process per job (partition size 1) -> no message hops.
+        assert len(jp.procs) == 1
+        assert len({s.proc for s in cp.segments}) == 1
+        assert all(s.kind != "transfer" for s in cp.segments)
+        assert cp.segments[0].start == pytest.approx(jp.started_at)
+        assert cp.segments[-1].end == pytest.approx(jp.completed_at)
+        assert cp.duration == pytest.approx(
+            jp.completed_at - jp.started_at, rel=1e-6, abs=1e-9)
+
+
 # -- no-perturbation with the profiler in the loop -----------------------
 def _normalised(result):
     data = result_to_dict(result)
