@@ -25,6 +25,9 @@ class LocalScheduler:
         self.job_cpu_time = defaultdict(float)
         #: Burst count per job id.
         self.job_dispatches = defaultdict(int)
+        #: Lifetime low-priority CPU seconds across all jobs, including
+        #: ones evicted from the per-job dict by :meth:`forget_job`.
+        self.total_cpu_time = 0.0
 
     @property
     def node_id(self):
@@ -57,14 +60,25 @@ class LocalScheduler:
             req = event.value
             self.job_cpu_time[job.job_id] += req.cpu_time
             self.job_dispatches[job.job_id] += 1
+            self.total_cpu_time += req.cpu_time
         return record
+
+    def forget_job(self, job_id):
+        """Drop a finished job's per-job accounting entries.
+
+        Streaming open-system runs call this at job completion so the
+        accounting dicts stay O(active jobs) instead of O(all jobs ever)
+        over a 10⁷-job run; :attr:`total_cpu_time` keeps the lifetime
+        sum so :meth:`cpu_share` stays correct for live jobs.
+        """
+        self.job_cpu_time.pop(job_id, None)
+        self.job_dispatches.pop(job_id, None)
 
     def cpu_share(self, job_id):
         """Fraction of this node's low-priority CPU time the job got."""
-        total = sum(self.job_cpu_time.values())
-        if total <= 0:
+        if self.total_cpu_time <= 0:
             return 0.0
-        return self.job_cpu_time[job_id] / total
+        return self.job_cpu_time[job_id] / self.total_cpu_time
 
     def __repr__(self):
         return f"<LocalScheduler node={self.node_id}>"

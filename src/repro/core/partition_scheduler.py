@@ -43,6 +43,10 @@ class PartitionScheduler:
         self.pending = deque()
         self.active = {}
         self.completed_jobs = []
+        #: Retain finished jobs in :attr:`completed_jobs`.  Streaming
+        #: open-system runs (``run_open(collect_jobs=False)``) switch
+        #: this off — a 10⁷-job run must not pin every Job object.
+        self.collect_jobs = True
         self._launched = 0
         partition.scheduler = self
         self._gang_active = None
@@ -189,7 +193,11 @@ class PartitionScheduler:
             ctx.release_all()
             job.mark_completed(self.env.now)
             self.active.pop(job.job_id, None)
-            self.completed_jobs.append(job)
+            if self.collect_jobs:
+                self.completed_jobs.append(job)
+            else:
+                for node in self.partition.nodes.values():
+                    node.local_scheduler.forget_job(job.job_id)
             self._try_launch()
             self._observe_load()
             if self.on_job_complete is not None:

@@ -44,12 +44,18 @@ class SuperScheduler:
         self.partitions = list(partitions or [])
         self.ready_queue = deque()
         self.jobs = []
+        #: Keep a reference to every submitted job in :attr:`jobs`.
+        #: Streaming open-system runs switch this off so a 10⁷-job run
+        #: holds no per-job list (the counters below still track totals).
+        self.collect_jobs = True
         self._completed = 0
+        self._submitted = 0
         self._rr_next = 0
         #: Event that fires when every submitted job has completed.
         self.all_done = Event(env)
         #: Total jobs expected over the run (set by open-system mode so
-        #: all_done does not fire between arrivals); None = whatever has
+        #: all_done does not fire between arrivals; ``math.inf`` while
+        #: an arrival stream is still feeding); None = whatever has
         #: been submitted so far.
         self.expected_jobs = None
         #: Callables ``fn(job)`` invoked whenever a job completes
@@ -74,7 +80,9 @@ class SuperScheduler:
     def submit(self, job):
         """Enter a job into the system at the current time."""
         job.mark_submitted(self.env.now)
-        self.jobs.append(job)
+        self._submitted += 1
+        if self.collect_jobs:
+            self.jobs.append(job)
         if self.policy.dynamic:
             self.ready_queue.append(job)
             self._dispatch_dynamic()
@@ -104,7 +112,9 @@ class SuperScheduler:
             return
         for job in jobs:
             job.mark_submitted(self.env.now)
-            self.jobs.append(job)
+            self._submitted += 1
+            if self.collect_jobs:
+                self.jobs.append(job)
             self.ready_queue.append(job)
         self._dispatch_static()
         self._observe_queue()
@@ -156,6 +166,7 @@ class SuperScheduler:
                 placement=self._system_config.placement,
                 host_link=self._host_link,
             )
+            sched.collect_jobs = self.collect_jobs
             self.partitions.append(part)
             sched.admit(job)
 
@@ -186,10 +197,21 @@ class SuperScheduler:
         self._observe_queue()
         self._check_all_done()
 
+    def finish_arrivals(self, total):
+        """An open-arrival feeder has drained: ``total`` jobs were fed.
+
+        Pins :attr:`expected_jobs` to the realised count and re-checks
+        completion — with a lazy arrival stream the total is unknown
+        until the stream ends, so the feeder holds ``expected_jobs`` at
+        ``math.inf`` while feeding and calls this when done.
+        """
+        self.expected_jobs = total
+        self._check_all_done()
+
     def _check_all_done(self):
         expected = (self.expected_jobs if self.expected_jobs is not None
-                    else len(self.jobs))
-        if (self._completed == expected == len(self.jobs)
+                    else self._submitted)
+        if (self._completed == expected == self._submitted
                 and not self.ready_queue
                 and not self.all_done.triggered):
             self.all_done.succeed(self._completed)

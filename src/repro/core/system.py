@@ -13,6 +13,7 @@ independent.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 
 from repro.core.job import Job
@@ -291,43 +292,85 @@ class MulticomputerSystem:
             )
         return results
 
-    def run_open(self, arrivals, label=""):
+    def run_open(self, arrivals, label="", collect_jobs=True, sink=None):
         """Run an open system: jobs arrive over time instead of at t=0.
 
         ``arrivals`` is an iterable of ``(arrival_time, spec)`` with
-        non-decreasing times (see :mod:`repro.workload.arrivals`).  The
-        run ends when every arrived job has completed.  Returns a
-        :class:`BatchResult` whose response times are measured from each
-        job's own arrival instant.
+        non-decreasing times (see :mod:`repro.workload.arrivals`); it is
+        consumed **lazily**, one arrival at a time, so a generator-backed
+        10⁷-job stream is never materialised.  The run ends when every
+        arrived job has completed.
+
+        By default returns a :class:`BatchResult` whose response times
+        are measured from each job's own arrival instant — byte-identical
+        to the historical behaviour.  Two opt-ins stream instead of
+        accumulating:
+
+        - ``sink``: a :class:`repro.obs.streaming.SteadyStateSink`
+          receives every arrival and completion (O(1)-memory aggregates,
+          windowed time series, optional ``repro-steady/1`` JSONL).
+        - ``collect_jobs=False``: drop all per-job storage (here *and*
+          in the scheduler) and return a
+          :class:`repro.obs.streaming.OpenRunResult` built from the
+          sink's streaming summaries — the memory-cliff-free path for
+          high duration×rate runs.  A private sink is created when none
+          is supplied.
         """
         self.build()
-        schedule = []
-        last = 0.0
-        for time, spec in arrivals:
-            if time < last:
-                raise ValueError("arrival times must be non-decreasing")
-            last = time
-            app, size_class = self._unpack(spec)
-            job = Job(app, size_class=size_class)
-            if self.trace_recorder is not None:
-                job.on_transition = self.trace_recorder.job_observer()
-            schedule.append((float(time), job))
-        if not schedule:
-            raise ValueError("no arrivals")
-        jobs = [job for _, job in schedule]
         sched = self.super_scheduler
-        sched.expected_jobs = len(schedule)
+        if not collect_jobs and sink is None:
+            from repro.obs.streaming import SteadyStateSink
+
+            sink = SteadyStateSink(window=None)
+        if sink is not None:
+            sink.bind(self, label=label or f"open:{self.describe()}")
+            sched.completion_hooks.append(sink.on_job_complete)
+        sched.collect_jobs = collect_jobs
+        if not collect_jobs:
+            # Partition schedulers otherwise pin every finished Job.
+            for part in self.partitions:
+                part.scheduler.collect_jobs = False
+        jobs = []
+        # Unknown stream length: hold all_done open until the feeder
+        # drains and pins the realised count via finish_arrivals().
+        sched.expected_jobs = math.inf
 
         def feeder(env):
-            for time, job in schedule:
+            last = 0.0
+            fed = 0
+            for time, spec in arrivals:
+                time = float(time)
+                if time < last:
+                    raise ValueError(
+                        "arrival times must be non-decreasing")
+                last = time
                 if time > env.now:
                     yield env.timeout(time - env.now)
+                app, size_class = self._unpack(spec)
+                job = Job(app, size_class=size_class)
+                if self.trace_recorder is not None:
+                    job.on_transition = self.trace_recorder.job_observer()
+                if collect_jobs:
+                    jobs.append(job)
+                if sink is not None:
+                    sink.on_job_arrival(env.now)
                 sched.submit(job)
+                fed += 1
+            if not fed:
+                raise ValueError("no arrivals")
+            sched.finish_arrivals(fed)
 
         self.env.process(feeder(self.env), name="arrivals")
         self.env.run(until=sched.all_done)
-        return BatchResult(jobs, self.snapshot(),
-                           label=label or f"open:{self.describe()}")
+        if sink is not None:
+            sink.finish(self.env.now)
+        if collect_jobs:
+            return BatchResult(jobs, self.snapshot(),
+                               label=label or f"open:{self.describe()}")
+        from repro.obs.streaming import OpenRunResult
+
+        return OpenRunResult(sink, self.snapshot(),
+                             label=label or f"open:{self.describe()}")
 
     @staticmethod
     def _unpack(spec):

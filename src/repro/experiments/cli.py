@@ -44,13 +44,17 @@ def _parse_args(argv):
                     "Dandamudi & Majumdar (IPPS 1997).",
     )
     parser.add_argument(
-        "command", nargs="?", choices=("profile", "diff"), default=None,
+        "command", nargs="?", choices=("profile", "diff", "steady"),
+        default=None,
         help="'profile' runs the causal profiler over the selected "
              "figures: wait-state attribution per policy, critical "
              "paths, and optional flame/attribution exports; 'diff' "
              "compares two recorded runs (BENCH json / --metrics-out / "
              "--attrib-out documents, or directories of them) and "
-             "localises significant regressions to wait-state buckets",
+             "localises significant regressions to wait-state buckets; "
+             "'steady' sweeps an open-system arrival stream over "
+             "offered loads with O(1)-memory streaming statistics, "
+             "MSER warm-up truncation, and batch-means CIs",
     )
     parser.add_argument(
         "paths", nargs="*", metavar="PATH",
@@ -142,6 +146,43 @@ def _parse_args(argv):
         help="(diff) bootstrap resamples per cell (default 2000)",
     )
     parser.add_argument(
+        "--rho", default=None, metavar="R1,R2,...",
+        help="(steady) offered loads to sweep as a comma list "
+             "(default 0.3,0.5,0.7,0.85)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=200.0, metavar="SECONDS",
+        help="(steady) simulated seconds of arrivals per cell "
+             "(default 200; jobs in flight still finish)",
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=4, metavar="N",
+        help="(steady) machine size per cell (default 4)",
+    )
+    parser.add_argument(
+        "--window", type=float, default=None, metavar="SECONDS",
+        help="(steady) time-series window width (default: duration/50)",
+    )
+    parser.add_argument(
+        "--arrival", choices=("poisson", "bursty"), default="poisson",
+        help="(steady) arrival discipline (bursty = Markov-modulated "
+             "on/off at the same offered load)",
+    )
+    parser.add_argument(
+        "--policies", default="static,ts", metavar="P1,P2",
+        help="(steady) comma list of policies to sweep "
+             "(default static,ts)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, metavar="N",
+        help="(steady) arrival/demand stream seed (default 7)",
+    )
+    parser.add_argument(
+        "--steady-out", default=None, metavar="PATH",
+        help="(steady) write every cell's windowed time series and "
+             "summary as consecutive repro-steady/1 JSONL segments",
+    )
+    parser.add_argument(
         "--chart", action="store_true",
         help="also render figures as ASCII bar charts",
     )
@@ -166,10 +207,10 @@ def _parse_args(argv):
                          "diff <baseline> <candidate>")
     elif args.paths:
         parser.error(f"unexpected positional arguments {args.paths}")
-    if args.command != "diff" and not (
+    if args.command not in ("diff", "steady") and not (
             args.figure or args.ablation or args.sensitivity
             or args.topologies or args.validate):
-        parser.error("pass a command (profile, diff), --figure, "
+        parser.error("pass a command (profile, diff, steady), --figure, "
                      "--ablation, --sensitivity, --topologies and/or "
                      "--validate")
     return args
@@ -429,6 +470,67 @@ def _run_diff(args, out=None):
     return result.exit_code(fail_on_regression=args.fail_on_regression)
 
 
+def _run_steady(args, out=None):
+    """``steady``: open-system rate sweep with streaming statistics.
+
+    Every cell runs ``run_open(collect_jobs=False)`` — O(1) memory in
+    the job count — and reports the MSER-truncated mean response time
+    with a batch-means 95% CI.  ``--steady-out`` streams each cell's
+    windowed time series as consecutive ``repro-steady/1`` segments.
+    Returns 1 when any cell's CI failed its soundness checks (warm-up
+    not converged or macro-batches too autocorrelated), else 0.
+    """
+    out = out or sys.stdout
+    from repro.experiments.steady import (
+        DEFAULT_RHOS,
+        POLICIES,
+        format_steady_table,
+        run_steady_sweep,
+    )
+
+    rhos = (tuple(float(r) for r in args.rho.split(","))
+            if args.rho else DEFAULT_RHOS)
+    policies = tuple(p.strip() for p in args.policies.split(",") if p.strip())
+    for policy in policies:
+        if policy not in POLICIES:
+            raise SystemExit(f"unknown policy {policy!r}; choose from "
+                             f"{sorted(POLICIES)}")
+    log = None
+    if args.steady_out:
+        from repro.obs.steadylog import SteadyLog
+
+        log = SteadyLog(args.steady_out)
+    start = time.time()
+
+    def progress(row):
+        print(f"  {row['policy']:>8} rho={row['rho']:<5g} "
+              f"{row['jobs']:>8d} jobs  "
+              f"rt={row['steady_rt']:.3f}±{row['ci95']:.3f}s"
+              f"{'' if row['sound'] else '  [UNSOUND]'}", file=out)
+
+    print(f"=== Steady-state sweep: {args.arrival} arrivals, "
+          f"{args.nodes} nodes, {args.duration:g}s per cell", file=out)
+    try:
+        rows = run_steady_sweep(
+            rhos, policies, duration=args.duration, nodes=args.nodes,
+            window=args.window, seed=args.seed, log=log,
+            arrival=args.arrival, progress=progress,
+        )
+    finally:
+        if log is not None:
+            log.close()
+    print(format_steady_table(rows), file=out)
+    if args.steady_out:
+        print(f"wrote {args.steady_out}", file=out)
+    print(f"  ({time.time() - start:.1f}s)", file=out)
+    unsound = [r for r in rows if not r["sound"]]
+    if unsound:
+        print(f"{len(unsound)} cell(s) with unsound CIs — lengthen "
+              f"--duration for steady-state claims", file=out)
+        return 1
+    return 0
+
+
 def _run_ablations(args, out=None):
     out = out or sys.stdout
     names = (sorted(ALL_ABLATIONS) if args.ablation == "all"
@@ -508,6 +610,8 @@ def main(argv=None):
     args = _parse_args(argv if argv is not None else sys.argv[1:])
     if args.command == "diff":
         return _run_diff(args)
+    if args.command == "steady":
+        return _run_steady(args)
     if args.validate:
         if not _run_validation(jobs=args.jobs):
             return 1

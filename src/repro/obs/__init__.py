@@ -7,6 +7,11 @@ The observability layer of the reproduction.  Enable it per run with
 Perfetto/Chrome trace (:func:`write_perfetto`) or a flat JSONL stream
 (:func:`write_jsonl`).
 
+Steady-state observability (:mod:`repro.obs.streaming` /
+:mod:`repro.obs.steadylog`) covers open-system runs at 10⁶–10⁷ jobs:
+O(1)-memory online aggregates, MSER warm-up truncation, batch-means
+confidence intervals, and a windowed ``repro-steady/1`` JSONL stream.
+
 Instrumentation is zero-cost when disabled: the environment's
 ``telemetry`` attribute stays ``None`` and every site guards on it, and
 code that prefers to hold a registry unconditionally can use the shared
@@ -52,6 +57,20 @@ from repro.obs.profile import (
     profile_run,
     write_collapsed,
 )
+from repro.obs.steadylog import SteadyLog, read_steady_log
+from repro.obs.streaming import (
+    BatchSeries,
+    OnlineStats,
+    OpenRunResult,
+    QuantileSketch,
+    STEADY_BOUNDARIES,
+    SteadyStateSink,
+    SteadyWindow,
+    batch_means_ci,
+    lag1_autocorrelation,
+    mser,
+    t_quantile_975,
+)
 from repro.obs.spans import (
     JOB_PHASES,
     Span,
@@ -71,6 +90,7 @@ from repro.obs.telemetry import Telemetry, attach, registry_of
 
 __all__ = [
     "BUCKETS",
+    "BatchSeries",
     "Counter",
     "CpSegment",
     "CriticalPath",
@@ -86,13 +106,21 @@ __all__ = [
     "MultiObserver",
     "NULL_REGISTRY",
     "NullRegistry",
+    "OnlineStats",
+    "OpenRunResult",
     "Profile",
+    "QuantileSketch",
     "RunBundle",
+    "STEADY_BOUNDARIES",
     "Span",
+    "SteadyLog",
+    "SteadyStateSink",
+    "SteadyWindow",
     "SweepLog",
     "SweepObserver",
     "Telemetry",
     "attach",
+    "batch_means_ci",
     "bootstrap_mean_delta",
     "bucket_names",
     "diff_runs",
@@ -103,15 +131,19 @@ __all__ = [
     "job_spans",
     "jsonl_lines",
     "jsonl_records",
+    "lag1_autocorrelation",
     "log_boundaries",
+    "mser",
     "node_pid",
     "pid_node",
     "process_spans",
     "profile_events",
     "profile_run",
     "register_phase",
+    "read_steady_log",
     "registry_of",
     "slice_spans",
+    "t_quantile_975",
     "to_perfetto",
     "write_collapsed",
     "write_jsonl",

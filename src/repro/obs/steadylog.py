@@ -1,0 +1,134 @@
+"""``repro-steady/1``: the steady-state JSONL stream.
+
+The windowed time series of an open-system run (throughput, response
+time, jobs in system, utilization per window) is emitted *while the
+run progresses*, one JSON object per line, alongside the PR 4
+``repro-sweep/1`` sweeplog and heartbeat.  A 10⁷-job run therefore
+streams its telemetry to disk instead of accumulating it: the writer
+holds no window history.
+
+Stream grammar (one *segment* per run; a file may hold several
+consecutive segments, e.g. one per sweep cell):
+
+- ``{"ev": "steady.start", "schema": "repro-steady/1", ...}`` — run
+  metadata (policy, nodes, topology, window width, caller extras);
+- ``{"ev": "window", "i": k, "t0": .., "t1": .., "arrived": ..,
+  "completed": .., "throughput": .., "rt_mean": .., "n_sys": ..,
+  "util": ..}`` — one closed window, ``i`` monotone within a segment;
+- ``{"ev": "steady.finish", ...}`` — the run-level summary
+  (:meth:`repro.obs.streaming.SteadyStateSink.summary`): counts,
+  streaming moments and quantiles, and the MSER-truncated mean with
+  its batch-means CI and soundness flags.
+
+:func:`read_steady_log` validates and round-trips the stream.
+"""
+
+from __future__ import annotations
+
+import json
+
+#: Steady-stream schema identifier; bump on incompatible layout changes.
+SCHEMA = "repro-steady/1"
+
+
+class SteadyLog:
+    """Write steady-state windows and summaries as a JSONL stream.
+
+    ``target`` is a path or an open text stream.  Lines are flushed as
+    written, so a long run can be tailed live.  One log may hold
+    several consecutive segments (a sweep writes one per cell); the
+    stream stays open until :meth:`close`.
+    """
+
+    def __init__(self, target):
+        if hasattr(target, "write"):
+            self._fh = target
+            self._owns = False
+        else:
+            self._fh = open(target, "w", encoding="utf-8")
+            self._owns = True
+
+    def _emit(self, record):
+        self._fh.write(json.dumps(record) + "\n")
+        self._fh.flush()
+
+    def start(self, meta):
+        """Open a segment: run metadata plus the schema tag."""
+        self._emit({"ev": "steady.start", "schema": SCHEMA, **meta})
+
+    def window(self, record):
+        """One closed window (a :meth:`SteadyWindow.to_dict` payload)."""
+        self._emit({"ev": "window", **record})
+
+    def finish(self, summary):
+        """Close the segment with the run-level summary."""
+        self._emit({"ev": "steady.finish", **summary})
+
+    def close(self):
+        if self._owns and not self._fh.closed:
+            self._fh.close()
+
+
+def read_steady_log(path_or_lines):
+    """Parse and validate a ``repro-steady/1`` stream; returns the events.
+
+    Accepts a path or an iterable of lines.  Raises ``ValueError`` when
+    the stream is empty, a line is not a tagged JSON object, the first
+    event of a segment is not a ``steady.start`` carrying the supported
+    schema, or window indices fail to increase monotonically within a
+    segment.
+    """
+    if isinstance(path_or_lines, (str, bytes)) or hasattr(
+            path_or_lines, "__fspath__"):
+        with open(path_or_lines, encoding="utf-8") as fh:
+            lines = fh.readlines()
+    else:
+        lines = list(path_or_lines)
+    events = []
+    in_segment = False
+    last_window = None
+    for lineno, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            raise ValueError(f"steady log line {lineno}: not JSON "
+                             f"({exc})") from None
+        if not isinstance(record, dict) or "ev" not in record:
+            raise ValueError(f"steady log line {lineno}: missing 'ev' tag")
+        ev = record["ev"]
+        if not in_segment:
+            if ev != "steady.start" or record.get("schema") != SCHEMA:
+                raise ValueError(
+                    f"steady log line {lineno}: expected a {SCHEMA} "
+                    f"steady.start event, got {ev!r}"
+                )
+            in_segment = True
+            last_window = None
+        elif ev == "window":
+            i = record.get("i")
+            if not isinstance(i, int):
+                raise ValueError(
+                    f"steady log line {lineno}: window without integer 'i'"
+                )
+            if last_window is not None and i <= last_window:
+                raise ValueError(
+                    f"steady log line {lineno}: window index {i} not "
+                    f"after {last_window}"
+                )
+            last_window = i
+        elif ev == "steady.finish":
+            in_segment = False
+        else:
+            raise ValueError(
+                f"steady log line {lineno}: unexpected event {ev!r} "
+                f"inside a segment"
+            )
+        events.append(record)
+    if not events:
+        raise ValueError("steady log is empty")
+    if in_segment:
+        raise ValueError("steady log ends mid-segment (no steady.finish)")
+    return events

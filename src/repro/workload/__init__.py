@@ -34,6 +34,7 @@ from repro.workload.application import (
     SoftwareArchitectureError,
 )
 from repro.workload.arrivals import (
+    bursty_arrivals,
     poisson_arrivals,
     trace_arrivals,
     uniform_arrivals,
@@ -65,6 +66,7 @@ __all__ = [
     "SortApplication",
     "StencilApplication",
     "SyntheticForkJoin",
+    "bursty_arrivals",
     "poisson_arrivals",
     "standard_batch",
     "trace_arrivals",

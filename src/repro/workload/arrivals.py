@@ -8,10 +8,16 @@ generates arrival streams for :meth:`MulticomputerSystem.run_open`:
 
 - :func:`poisson_arrivals` — exponential interarrival times;
 - :func:`uniform_arrivals` — fixed-rate arrivals (deterministic);
+- :func:`bursty_arrivals` — Markov-modulated on/off (MMPP) bursts;
 - :func:`trace_arrivals` — replay an explicit (time, spec) list.
 
-A stream is simply an iterable of ``(arrival_time, JobSpec)`` with
-non-decreasing times.
+A stream is an iterable of ``(arrival_time, JobSpec)`` with
+non-decreasing times.  The generators are **lazy**: a 10⁷-job stream is
+produced one arrival at a time and never materialised (``run_open``
+consumes it incrementally).  Argument validation still happens eagerly
+at the call site, so bad parameters raise before any simulation starts;
+wrap a stream in ``list()`` when the old materialised behaviour is
+wanted.
 """
 
 from __future__ import annotations
@@ -35,31 +41,80 @@ def poisson_arrivals(rate, duration, spec_factory, rng):
     duration: stop generating at this time (jobs in flight still finish).
     spec_factory: callable ``(rng) -> JobSpec`` choosing each job.
     rng: numpy Generator (determinism is the caller's responsibility).
+
+    Returns a lazy generator; draws happen as the stream is consumed,
+    in the same order the old materialising implementation drew them,
+    so a given ``rng`` seed yields the identical stream.
     """
     if rate <= 0:
         raise ValueError("rate must be positive")
     if duration <= 0:
         raise ValueError("duration must be positive")
-    t = 0.0
-    out = []
-    while True:
-        t += float(rng.exponential(1.0 / rate))
-        if t >= duration:
-            break
-        out.append((t, _spec_of(spec_factory(rng))))
-    return out
+
+    def generate():
+        t = 0.0
+        while True:
+            t += float(rng.exponential(1.0 / rate))
+            if t >= duration:
+                return
+            yield (t, _spec_of(spec_factory(rng)))
+
+    return generate()
 
 
 def uniform_arrivals(interval, count, spec_factory, rng=None):
-    """Deterministic stream: one arrival every ``interval`` seconds."""
+    """Deterministic lazy stream: one arrival every ``interval`` seconds."""
     if interval <= 0:
         raise ValueError("interval must be positive")
     if count < 1:
         raise ValueError("count must be >= 1")
-    return [
-        (i * interval, _spec_of(spec_factory(rng)))
-        for i in range(count)
-    ]
+
+    def generate():
+        for i in range(count):
+            yield (i * interval, _spec_of(spec_factory(rng)))
+
+    return generate()
+
+
+def bursty_arrivals(rate, duration, spec_factory, rng,
+                    mean_on=1.0, mean_off=1.0):
+    """Markov-modulated on/off (MMPP) stream: Poisson bursts, idle gaps.
+
+    The source alternates between an ON state — Poisson arrivals at
+    ``rate`` — and an OFF state with no arrivals; sojourn times in each
+    state are exponential with means ``mean_on`` and ``mean_off``.  The
+    long-run offered rate is ``rate * mean_on / (mean_on + mean_off)``,
+    but arrivals cluster: with the same mean rate as a plain Poisson
+    stream, the interarrival CV exceeds 1, which is exactly the
+    variance regime the F8 crossover family probes.
+
+    Lazy like its siblings; validation is eager.
+    """
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    if mean_on <= 0 or mean_off <= 0:
+        raise ValueError("mean_on and mean_off must be positive")
+
+    def generate():
+        t = 0.0
+        on_until = float(rng.exponential(mean_on))
+        while True:
+            t += float(rng.exponential(1.0 / rate))
+            while t >= on_until:
+                # Carry the residual exponential draw across the OFF
+                # gap (memorylessness makes this exact): shift the
+                # pending arrival by the OFF sojourn and open a new ON
+                # window.
+                off = float(rng.exponential(mean_off))
+                t += off
+                on_until += off + float(rng.exponential(mean_on))
+            if t >= duration:
+                return
+            yield (t, _spec_of(spec_factory(rng)))
+
+    return generate()
 
 
 def trace_arrivals(trace):

@@ -151,8 +151,9 @@ def test_gang_vs_hybrid_same_total_work():
 # ----------------------------------------------------------- open arrivals
 def test_uniform_arrivals_structure():
     app = SyntheticForkJoin(1e4)
-    arr = uniform_arrivals(2.0, 3, lambda rng: JobSpec(app, "s"))
+    arr = list(uniform_arrivals(2.0, 3, lambda rng: JobSpec(app, "s")))
     assert [t for t, _ in arr] == [0.0, 2.0, 4.0]
+    # Validation is eager even though generation is lazy.
     with pytest.raises(ValueError):
         uniform_arrivals(0, 3, lambda rng: JobSpec(app, "s"))
 
@@ -169,7 +170,9 @@ def test_trace_arrivals_validation():
 def test_poisson_arrivals_rate():
     rng = np.random.default_rng(3)
     app = SyntheticForkJoin(1e4)
-    arr = poisson_arrivals(2.0, 500.0, lambda r: JobSpec(app, "s"), rng)
+    stream = poisson_arrivals(2.0, 500.0, lambda r: JobSpec(app, "s"), rng)
+    assert iter(stream) is stream  # lazy: a generator, not a list
+    arr = list(stream)
     assert len(arr) == pytest.approx(1000, rel=0.15)
     times = [t for t, _ in arr]
     assert times == sorted(times)
