@@ -62,6 +62,16 @@ def parse_args(argv):
              "one per core) and record parallel wall-clock + speedup "
              "in the document (default 1 = serial only)",
     )
+    parser.add_argument(
+        "--run-id", default=None, metavar="ID",
+        help="name this run in the trajectory (default: today's date, "
+             "suffixed .2/.3/... on collision)",
+    )
+    parser.add_argument(
+        "--no-kernel-profile", action="store_true",
+        help="skip the kernel self-profiler (the document then omits "
+             "the kernel_profile sections)",
+    )
     return parser.parse_args(argv)
 
 
@@ -86,7 +96,8 @@ def main(argv=None):
         print(f"calibration: {calibration:.4f}s")
 
     scenarios = run_scenarios(scale_name=args.scale, figures=figures,
-                              jobs=args.jobs)
+                              jobs=args.jobs,
+                              kernel_profile=not args.no_kernel_profile)
     for s in scenarios:
         rts = ", ".join(f"{p}={rt:.3f}" for p, rt in s["mean_rt"].items())
         line = (f"figure {s['figure']}: {s['wall_s']:.2f}s wall, "
@@ -97,6 +108,16 @@ def main(argv=None):
                      f"({s['parallel_jobs']} jobs, "
                      f"match={s['parallel_matches_serial']})")
         print(line)
+        kernel = s.get("kernel_profile")
+        if kernel:
+            top = next(iter(kernel["event_types"].items()), None)
+            hottest = (f", hottest {top[0]} {top[1]['share']:.0%}"
+                       if top else "")
+            print(f"  kernel: {kernel['events']} events in "
+                  f"{kernel['kernel_s']:.2f}s "
+                  f"({kernel['events_per_sec']:.0f}/s on the kernel "
+                  f"clock), agenda depth max "
+                  f"{kernel['max_agenda_depth']}{hottest}")
 
     # Discover the prior documents in the output directory so the new
     # record embeds its position in the trajectory (oldest first).
@@ -106,7 +127,7 @@ def main(argv=None):
     prior_ids = [run_id_of(d) for p, d in trajectory
                  if p != Path(out).resolve()]
     date = time.strftime("%Y-%m-%d")
-    run_id = date
+    run_id = args.run_id or date
     suffix = 2
     while run_id in prior_ids:
         run_id = f"{date}.{suffix}"

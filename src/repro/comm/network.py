@@ -167,6 +167,9 @@ class Network:
         message.sent_at = env.now
         self.stats.messages_sent += 1
         self.stats.bytes_sent += message.nbytes
+        kp = env.kernel_profiler
+        if kp is not None:
+            kp.count("comm.messages")
 
         # Sender-side software: packetisation and the copy of the payload
         # out of job memory into message buffers.
@@ -191,6 +194,8 @@ class Network:
 
         path = self.router.path(message.src, message.dst)
         message.hops = len(path) - 1
+        if kp is not None:
+            kp.depth("comm.path_hops", message.hops)
 
         # Reserve the whole message's reassembly space at the destination
         # *before* any packet leaves.  Allocating per packet instead
@@ -220,6 +225,11 @@ class Network:
         """Move one packet along ``path`` hop by hop (store-and-forward)."""
         env = self.env
         cfg = self.config
+        kp = env.kernel_profiler
+        if kp is not None:
+            # One batched bump per packet, not one per hop — the hop
+            # count is known up front and hook calls are hot-path cost.
+            kp.count("comm.packet_hops", len(path) - 1)
         held = None  # transit buffer occupied at the current node
         for hop, (u, v) in enumerate(zip(path, path[1:])):
             v_node = self.nodes[v]

@@ -80,6 +80,9 @@ class WormholeNetwork:
         message.sent_at = env.now
         self.stats.messages_sent += 1
         self.stats.bytes_sent += message.nbytes
+        kp = env.kernel_profiler
+        if kp is not None:
+            kp.count("comm.messages")
 
         yield src_node.cpu.execute(cfg.message_overhead, HIGH, tag="comm")
 
@@ -96,6 +99,8 @@ class WormholeNetwork:
         path = self.router.path(message.src, message.dst)
         hops = len(path) - 1
         message.hops = hops
+        if kp is not None:
+            kp.depth("comm.path_hops", hops)
 
         # Reassembly memory at the destination, then stream the message
         # as a sequence of worms (one per packet).  Each worm claims the
@@ -110,6 +115,9 @@ class WormholeNetwork:
         while remaining > 0:
             worm = min(remaining, cfg.packet_bytes)
             remaining -= worm
+            if kp is not None:
+                # One batched bump per worm, not one per hop claimed.
+                kp.count("comm.packet_hops", hops)
             requests = []
             try:
                 for u, v in zip(path, path[1:]):

@@ -26,7 +26,14 @@ import time
 from pathlib import Path
 
 #: Document schema identifier; bump on incompatible layout changes.
-SCHEMA = "repro-bench/1"
+#: ``/2`` added the optional ``kernel_profile`` sections (per-scenario
+#: and document-level) recording *where* kernel time went.
+SCHEMA = "repro-bench/2"
+
+#: Schemas :func:`load_bench` accepts.  ``repro-bench/1`` documents
+#: (pre-kernel-profiler baselines) load fine — every ``/2`` addition is
+#: optional — so old trajectories stay comparable.
+COMPAT_SCHEMAS = (SCHEMA, "repro-bench/1")
 
 #: The paper-figure scenarios the trajectory tracks.
 DEFAULT_FIGURES = (3, 4, 5, 6)
@@ -53,12 +60,19 @@ def calibrate(repeats=3):
     return best
 
 
-def run_scenarios(scale_name="smoke", figures=DEFAULT_FIGURES, jobs=None):
+def run_scenarios(scale_name="smoke", figures=DEFAULT_FIGURES, jobs=None,
+                  kernel_profile=True):
     """Run the figure scenarios instrumented; returns scenario dicts.
 
     Each dict records the figure, wall-clock seconds, total trace
     events (kept + dropped — the true event volume), host events/sec,
-    and mean response time per policy.
+    and mean response time per policy.  With ``kernel_profile`` (the
+    default) the serial run of each figure executes under the kernel
+    self-profiler and the record gains a ``kernel_profile`` section
+    (:meth:`repro.obs.kernelprof.KernelProfiler.summary`) saying where
+    the engine's wall-clock went; the profiler's <5 % overhead is part
+    of the measured ``wall_s``, which is why the baseline is recorded
+    the same way.
 
     ``jobs``, when it resolves to more than one worker (``0`` = one per
     core), additionally re-runs every figure on a shared process pool
@@ -73,6 +87,7 @@ def run_scenarios(scale_name="smoke", figures=DEFAULT_FIGURES, jobs=None):
     from repro.experiments.config import ExperimentScale, figure_spec
     from repro.experiments.parallel import resolve_jobs, run_figure_parallel
     from repro.experiments.runner import run_figure
+    from repro.obs.kernelprof import kernel_profile as _kernel_profile
 
     scale = (ExperimentScale.paper() if scale_name == "paper"
              else ExperimentScale.smoke())
@@ -83,9 +98,17 @@ def run_scenarios(scale_name="smoke", figures=DEFAULT_FIGURES, jobs=None):
         for number in figures:
             spec = figure_spec(number)
             sink = []
-            t0 = time.perf_counter()
-            cells = run_figure(spec, scale, telemetry_sink=sink)
-            wall = time.perf_counter() - t0
+            if kernel_profile:
+                t0 = time.perf_counter()
+                with _kernel_profile() as kp:
+                    cells = run_figure(spec, scale, telemetry_sink=sink)
+                wall = time.perf_counter() - t0
+                kernel_summary = kp.summary()
+            else:
+                t0 = time.perf_counter()
+                cells = run_figure(spec, scale, telemetry_sink=sink)
+                wall = time.perf_counter() - t0
+                kernel_summary = None
             events = sum(len(tel.recorder) + tel.recorder.dropped
                          for _label, _policy, tel in sink)
             mean_rt = {}
@@ -106,6 +129,8 @@ def run_scenarios(scale_name="smoke", figures=DEFAULT_FIGURES, jobs=None):
                 "events_per_sec": events / wall if wall > 0 else 0.0,
                 "mean_rt": dict(sorted(mean_rt.items())),
             }
+            if kernel_summary is not None:
+                record["kernel_profile"] = kernel_summary
             if pool is not None:
                 t0 = time.perf_counter()
                 par_cells = run_figure_parallel(spec, scale, jobs=jobs,
@@ -135,6 +160,12 @@ def bench_document(scenarios, scale_name="smoke", calibration=None,
     ``prior_runs``, when given, embeds the ordered run ids of the
     documents that preceded this one (:func:`load_trajectory` discovers
     them), so every document records where it sits in the series.
+
+    When every scenario carries a ``kernel_profile`` section the
+    document gains an aggregate one: per-event-type counts and seconds
+    summed across scenarios (shares recomputed over the combined kernel
+    time), total kernel seconds and events, the kernel-clock events/sec
+    that results, and the worst agenda depth seen.
     """
     date = date or time.strftime("%Y-%m-%d")
     doc = {
@@ -155,7 +186,35 @@ def bench_document(scenarios, scale_name="smoke", calibration=None,
         doc["parallel_jobs"] = max(s["parallel_jobs"] for s in parallel)
         doc["parallel_speedup"] = (doc["total_wall_s"] / par_total
                                    if par_total > 0 else 0.0)
+    profiles = [s["kernel_profile"] for s in scenarios
+                if "kernel_profile" in s]
+    if profiles and len(profiles) == len(scenarios):
+        doc["kernel_profile"] = _merge_kernel_profiles(profiles)
     return doc
+
+
+def _merge_kernel_profiles(profiles):
+    """Aggregate per-scenario kernel summaries into one document-level one."""
+    kernel_s = sum(p["kernel_s"] for p in profiles)
+    events = sum(p["events"] for p in profiles)
+    types = {}
+    for p in profiles:
+        for name, rec in p["event_types"].items():
+            agg = types.setdefault(name, {"count": 0, "s": 0.0})
+            agg["count"] += rec["count"]
+            agg["s"] += rec["s"]
+    denom = kernel_s or 1.0
+    for rec in types.values():
+        rec["share"] = rec["s"] / denom
+    return {
+        "kernel_s": kernel_s,
+        "events": events,
+        "events_per_sec": events / kernel_s if kernel_s > 0 else 0.0,
+        "pushes": sum(p["pushes"] for p in profiles),
+        "max_agenda_depth": max(p["max_agenda_depth"] for p in profiles),
+        "event_types": dict(sorted(types.items(),
+                                   key=lambda kv: -kv[1]["s"])),
+    }
 
 
 def write_bench(doc, path):
@@ -166,13 +225,13 @@ def write_bench(doc, path):
 
 
 def load_bench(path):
-    """Load and validate a benchmark document."""
+    """Load and validate a benchmark document (``/2`` or legacy ``/1``)."""
     with open(path) as fh:
         doc = json.load(fh)
-    if doc.get("schema") != SCHEMA:
+    if doc.get("schema") not in COMPAT_SCHEMAS:
         raise ValueError(
             f"{path}: unsupported benchmark schema "
-            f"{doc.get('schema')!r} (expected {SCHEMA!r})"
+            f"{doc.get('schema')!r} (expected one of {COMPAT_SCHEMAS!r})"
         )
     for key in ("date", "scale", "total_wall_s", "scenarios"):
         if key not in doc:
@@ -184,9 +243,30 @@ def load_bench(path):
                 raise ValueError(
                     f"{path}: scenario record missing {key!r}"
                 )
+        if "kernel_profile" in s:
+            _check_kernel_profile(s["kernel_profile"],
+                                  f"{path}: figure {s['figure']}")
+    if "kernel_profile" in doc:
+        _check_kernel_profile(doc["kernel_profile"], str(path))
     if "prior_runs" in doc and not isinstance(doc["prior_runs"], list):
         raise ValueError(f"{path}: prior_runs must be a list of run ids")
     return doc
+
+
+def _check_kernel_profile(section, where):
+    """Shape-check a ``kernel_profile`` section of a ``/2`` document."""
+    if not isinstance(section, dict):
+        raise ValueError(f"{where}: kernel_profile must be an object")
+    for key in ("kernel_s", "events", "events_per_sec", "pushes",
+                "max_agenda_depth", "event_types"):
+        if key not in section:
+            raise ValueError(
+                f"{where}: kernel_profile section missing {key!r}"
+            )
+    if not isinstance(section["event_types"], dict):
+        raise ValueError(
+            f"{where}: kernel_profile event_types must be an object"
+        )
 
 
 def run_id_of(doc):
@@ -227,12 +307,17 @@ def trajectory_series(docs):
         if not doc:
             continue
         wall, normalised = _normalised_wall(doc)
+        kernel = doc.get("kernel_profile")
         series.append({
             "run_id": run_id_of(doc),
             "date": doc.get("date"),
             "scale": doc.get("scale"),
             "total_wall_s": doc.get("total_wall_s"),
             "normalised_wall": wall if normalised else None,
+            # None for legacy repro-bench/1 points recorded before the
+            # kernel self-profiler existed.
+            "kernel_events_per_sec": (kernel["events_per_sec"]
+                                      if kernel else None),
             "prior_runs": list(doc.get("prior_runs", [])),
         })
     return series

@@ -11,6 +11,8 @@ Examples::
         --metrics-out metrics.json
     python -m repro.experiments profile --figure 4 --scale smoke \
         --attrib-out attrib.json --flame-out profile.collapsed
+    python -m repro.experiments hotspots --figure 4 --scale smoke \
+        --kernelprof-out hotspots.json --flame-out kernel.collapsed
     python -m repro.experiments --figure all --jobs 0 \
         --sweep-log sweep.jsonl --heartbeat
     python -m repro.experiments diff baseline/ candidate/ \
@@ -35,6 +37,7 @@ from repro.experiments.report import (
 )
 from repro.experiments.parallel import resolve_jobs, run_figure_parallel
 from repro.experiments.runner import run_figure
+from repro.obs import kernelprof
 
 
 def _parse_args(argv):
@@ -44,7 +47,8 @@ def _parse_args(argv):
                     "Dandamudi & Majumdar (IPPS 1997).",
     )
     parser.add_argument(
-        "command", nargs="?", choices=("profile", "diff", "steady"),
+        "command", nargs="?",
+        choices=("profile", "diff", "steady", "hotspots"),
         default=None,
         help="'profile' runs the causal profiler over the selected "
              "figures: wait-state attribution per policy, critical "
@@ -54,7 +58,11 @@ def _parse_args(argv):
              "localises significant regressions to wait-state buckets; "
              "'steady' sweeps an open-system arrival stream over "
              "offered loads with O(1)-memory streaming statistics, "
-             "MSER warm-up truncation, and batch-means CIs",
+             "MSER warm-up truncation, and batch-means CIs; 'hotspots' "
+             "runs the selected figures under the kernel self-profiler "
+             "and prints where the *simulator engine* spent its "
+             "wall-clock (per-event-type breakdown, agenda pressure, "
+             "callback sites)",
     )
     parser.add_argument(
         "paths", nargs="*", metavar="PATH",
@@ -98,8 +106,34 @@ def _parse_args(argv):
     )
     parser.add_argument(
         "--flame-out", default=None, metavar="PATH",
-        help="(profile) write critical paths as a collapsed-stack file "
-             "(open with speedscope or flamegraph.pl)",
+        help="(profile/hotspots) write critical paths (profile) or the "
+             "kernel hot-path breakdown (hotspots) as a collapsed-stack "
+             "file (open with speedscope or flamegraph.pl)",
+    )
+    parser.add_argument(
+        "--kernelprof-out", default=None, metavar="PATH",
+        help="(hotspots) write the full repro-kernelprof/1 document "
+             "(per-event-type breakdown, agenda depth percentiles, "
+             "events/sec timeline, counters) as JSON",
+    )
+    parser.add_argument(
+        "--sample-every", type=int,
+        default=kernelprof.DEFAULT_SAMPLE_EVERY, metavar="N",
+        help="(hotspots) read host clocks on roughly one event in N — "
+             "step timing and callback timing each get a ~1-in-N "
+             "stream with randomised gaps (default "
+             f"{kernelprof.DEFAULT_SAMPLE_EVERY}; smaller = finer "
+             "attribution, more overhead)",
+    )
+    parser.add_argument(
+        "--memory", action="store_true",
+        help="(hotspots) also attribute allocations with sampled "
+             "tracemalloc+gc snapshots (roughly doubles allocation "
+             "cost; off by default)",
+    )
+    parser.add_argument(
+        "--top", type=int, default=12, metavar="N",
+        help="(hotspots) rows per ranked table (default 12)",
     )
     parser.add_argument(
         "--sweep-log", default=None, metavar="PATH",
@@ -199,7 +233,7 @@ def _parse_args(argv):
         help="run the closed-form validation report",
     )
     args = parser.parse_args(argv)
-    if args.command == "profile" and args.figure is None:
+    if args.command in ("profile", "hotspots") and args.figure is None:
         args.figure = "4"  # the paper's central comparison
     if args.command == "diff":
         if len(args.paths) != 2:
@@ -207,12 +241,14 @@ def _parse_args(argv):
                          "diff <baseline> <candidate>")
     elif args.paths:
         parser.error(f"unexpected positional arguments {args.paths}")
-    if args.command not in ("diff", "steady") and not (
+    if args.command == "hotspots" and args.sample_every < 1:
+        parser.error("--sample-every must be >= 1")
+    if args.command not in ("diff", "steady", "hotspots") and not (
             args.figure or args.ablation or args.sensitivity
             or args.topologies or args.validate):
-        parser.error("pass a command (profile, diff, steady), --figure, "
-                     "--ablation, --sensitivity, --topologies and/or "
-                     "--validate")
+        parser.error("pass a command (profile, diff, steady, hotspots), "
+                     "--figure, --ablation, --sensitivity, --topologies "
+                     "and/or --validate")
     return args
 
 
@@ -470,6 +506,54 @@ def _run_diff(args, out=None):
     return result.exit_code(fail_on_regression=args.fail_on_regression)
 
 
+def _run_hotspots(args, out=None):
+    """``hotspots``: profile the simulation engine itself.
+
+    Runs the selected figures serially under the kernel self-profiler
+    (parallel workers would profile only the parent process, so
+    ``--jobs`` is ignored here) and prints the ranked hot-path report:
+    which event types the engine spent its wall-clock on, agenda
+    pressure, sampled callback sites, and the model-layer counters.
+    ``--kernelprof-out`` writes the validated ``repro-kernelprof/1``
+    document; ``--flame-out`` writes the breakdown as collapsed stacks
+    for speedscope/FlameGraph.  Returns the process exit code.
+    """
+    out = out or sys.stdout
+    from repro.obs.kernelprof import (
+        format_kernelprof,
+        kernel_collapsed_lines,
+        kernel_profile,
+        validate_kernelprof,
+        write_kernelprof,
+    )
+    from repro.obs.profile import write_collapsed_lines
+
+    scale = (ExperimentScale.paper() if args.scale == "paper"
+             else ExperimentScale.smoke())
+    numbers = [3, 4, 5, 6] if args.figure == "all" else [int(args.figure)]
+    start = time.time()
+    with kernel_profile(sample_every=args.sample_every,
+                        memory=args.memory) as kp:
+        for number in numbers:
+            spec = figure_spec(number)
+            print(f"=== Hotspots: figure {number} ({spec.title}) "
+                  f"[{scale.name}]", file=out)
+            run_figure(spec, scale)
+    doc = kp.document()
+    validate_kernelprof(doc)
+    print(format_kernelprof(doc, top=args.top), file=out)
+    if args.kernelprof_out:
+        write_kernelprof(doc, args.kernelprof_out)
+        print(f"wrote {args.kernelprof_out}", file=out)
+    if args.flame_out:
+        lines = kernel_collapsed_lines(doc)
+        write_collapsed_lines(args.flame_out, lines)
+        print(f"wrote {args.flame_out} ({len(lines)} stacks; open with "
+              f"speedscope or flamegraph.pl)", file=out)
+    print(f"  ({time.time() - start:.1f}s)", file=out)
+    return 0
+
+
 def _run_steady(args, out=None):
     """``steady``: open-system rate sweep with streaming statistics.
 
@@ -612,6 +696,8 @@ def main(argv=None):
         return _run_diff(args)
     if args.command == "steady":
         return _run_steady(args)
+    if args.command == "hotspots":
+        return _run_hotspots(args)
     if args.validate:
         if not _run_validation(jobs=args.jobs):
             return 1

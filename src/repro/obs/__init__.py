@@ -45,6 +45,15 @@ from repro.obs.perfetto import (
     to_perfetto,
     write_perfetto,
 )
+from repro.obs.kernelprof import (
+    KernelProfiler,
+    format_kernelprof,
+    kernel_collapsed_lines,
+    kernel_profile,
+    load_kernelprof,
+    validate_kernelprof,
+    write_kernelprof,
+)
 from repro.obs.profile import (
     BUCKETS,
     CpSegment,
@@ -56,6 +65,7 @@ from repro.obs.profile import (
     profile_events,
     profile_run,
     write_collapsed,
+    write_collapsed_lines,
 )
 from repro.obs.steadylog import SteadyLog, read_steady_log
 from repro.obs.streaming import (
@@ -102,6 +112,7 @@ __all__ = [
     "Histogram",
     "JOB_PHASES",
     "JobProfile",
+    "KernelProfiler",
     "MetricsRegistry",
     "MultiObserver",
     "NULL_REGISTRY",
@@ -128,10 +139,14 @@ __all__ = [
     "load_run_bundle",
     "read_sweep_log",
     "collapsed_lines",
+    "format_kernelprof",
     "job_spans",
     "jsonl_lines",
     "jsonl_records",
+    "kernel_collapsed_lines",
+    "kernel_profile",
     "lag1_autocorrelation",
+    "load_kernelprof",
     "log_boundaries",
     "mser",
     "node_pid",
@@ -145,7 +160,10 @@ __all__ = [
     "slice_spans",
     "t_quantile_975",
     "to_perfetto",
+    "validate_kernelprof",
     "write_collapsed",
+    "write_collapsed_lines",
     "write_jsonl",
+    "write_kernelprof",
     "write_perfetto",
 ]

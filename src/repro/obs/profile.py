@@ -609,13 +609,23 @@ def collapsed_lines(paths, prefix=None):
     return [f"{stack} {count}" for stack, count in sorted(agg.items())]
 
 
-def write_collapsed(path, paths_or_profile, prefix=None):
-    """Write a collapsed-stack file for speedscope/FlameGraph."""
-    obj = paths_or_profile
-    paths = obj.paths if isinstance(obj, Profile) else obj
-    lines = collapsed_lines(paths, prefix=prefix)
+def write_collapsed_lines(path, lines):
+    """Write pre-rendered collapsed-stack lines for speedscope/FlameGraph.
+
+    The low-level writer shared by :func:`write_collapsed` (critical
+    paths) and :func:`repro.obs.kernelprof.kernel_collapsed_lines`
+    (kernel hot paths) — both emit the same ``stack;frames count``
+    format, so both open in the same tools.
+    """
     with open(path, "w", encoding="utf-8") as fh:
         fh.write("\n".join(lines))
         if lines:
             fh.write("\n")
     return path
+
+
+def write_collapsed(path, paths_or_profile, prefix=None):
+    """Write a collapsed-stack file for speedscope/FlameGraph."""
+    obj = paths_or_profile
+    paths = obj.paths if isinstance(obj, Profile) else obj
+    return write_collapsed_lines(path, collapsed_lines(paths, prefix=prefix))

@@ -24,7 +24,11 @@ order of scheduling (a monotone sequence number breaks ties), so two runs
 of the same model always produce identical traces.
 """
 
-from repro.sim.environment import Environment
+from repro.sim.environment import (
+    Environment,
+    active_kernel_profiler,
+    set_kernel_profiler,
+)
 from repro.sim.events import (
     URGENT,
     NORMAL,
@@ -69,4 +73,6 @@ __all__ = [
     "TimeWeightedValue",
     "Timeout",
     "URGENT",
+    "active_kernel_profiler",
+    "set_kernel_profiler",
 ]

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from heapq import heappop, heappush
 from itertools import count
+from time import perf_counter_ns
 
 from repro.sim.events import (
     NORMAL,
@@ -15,6 +16,34 @@ from repro.sim.events import (
     Timeout,
 )
 from repro.sim.exceptions import EmptySchedule, SimulationError
+
+#: Process-global kernel self-profiler (see
+#: :mod:`repro.obs.kernelprof`).  Environments capture it at
+#: construction time, so installing a profiler before building a system
+#: profiles every environment the run creates — without threading a
+#: parameter through every layer.  ``None`` means profiling is off and
+#: the event loop takes its unobserved fast path.
+_KERNEL_PROFILER = None
+
+
+def set_kernel_profiler(profiler):
+    """Install (or, with ``None``, clear) the process-global profiler.
+
+    Returns the previously installed profiler so callers can restore
+    it — :func:`repro.obs.kernelprof.kernel_profile` uses this to nest
+    and to guarantee deactivation on exit.  Only environments created
+    *after* installation pick the profiler up; attach it to an existing
+    environment with :meth:`KernelProfiler.attach`.
+    """
+    global _KERNEL_PROFILER
+    previous = _KERNEL_PROFILER
+    _KERNEL_PROFILER = profiler
+    return previous
+
+
+def active_kernel_profiler():
+    """The currently installed process-global kernel profiler, if any."""
+    return _KERNEL_PROFILER
 
 
 class _StopSimulation(Exception):
@@ -59,6 +88,14 @@ class Environment:
         #: ``None`` means telemetry is off; instrumentation sites guard
         #: on it, so recording costs nothing when disabled.
         self.telemetry = None
+        #: Optional :class:`repro.obs.kernelprof.KernelProfiler`
+        #: measuring the *host* cost of this environment's event loop.
+        #: Captured from the process-global slot at construction; the
+        #: loop guards on it, so the unprofiled path pays one attribute
+        #: load per step.
+        self.kernel_profiler = kp = _KERNEL_PROFILER
+        if kp is not None:
+            kp._register(self)
 
     # -- introspection ---------------------------------------------------
     @property
@@ -98,7 +135,13 @@ class Environment:
 
     # -- scheduling ----------------------------------------------------------
     def schedule(self, event, priority=NORMAL, delay=0.0):
-        """Place a triggered ``event`` on the agenda after ``delay``."""
+        """Place a triggered ``event`` on the agenda after ``delay``.
+
+        Deliberately unhooked: the kernel profiler derives push counts
+        from the heap identity (every push is eventually popped or
+        still queued) and samples agenda depth at timed steps, so the
+        scheduling fast path costs the same profiled or not.
+        """
         heappush(self._queue, (self._now + delay, priority, next(self._seq), event))
 
     def step(self):
@@ -109,18 +152,167 @@ class Environment:
         EmptySchedule
             If no events remain.
         """
+        if self.kernel_profiler is not None:
+            return self._step_profiled()
         try:
             self._now, _, _, event = heappop(self._queue)
         except IndexError:
             raise EmptySchedule("no scheduled events") from None
 
+        # Count the event *before* dispatch: the pop already happened,
+        # so a raising callback (or the unhandled-failure re-raise
+        # below) must not leave the counter understating the number of
+        # events the loop consumed.
+        self.events_processed += 1
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
-        self.events_processed += 1
 
         if not event._ok and not event._defused:
             # An unhandled failure: surface it so bugs don't pass silently.
+            raise event._value
+
+    def _step_profiled(self):
+        """:meth:`step` with the kernel self-profiler's measurements.
+
+        Identical event semantics to the unprofiled path — the profiler
+        only reads host clocks and updates its own tallies, so the
+        simulated trajectory is byte-identical either way.
+
+        The common case pays only a countdown decrement: all per-type
+        attribution is *sampled*, because even one dict operation per
+        event costs a measurable fraction of the cheapest whole events.
+        When the countdown expires, the event lands in one of two
+        alternating sample streams — a step-timed stream (pop + dispatch
+        clocked, attributed to the event's type; agenda depth observed)
+        and a callback-timed stream (each callback clocked individually
+        for callsite attribution) — kept separate so clock reads never
+        pollute each other.  Gaps between samples are drawn from a
+        deterministic PRNG so periodic event patterns (ubiquitous in a
+        DES) cannot alias with a fixed sampling grid.  Exact totals come
+        from elsewhere: events from ``events_processed`` deltas, pushes
+        from heap accounting, loop time from :meth:`run`'s clocks.
+        """
+        kp = self.kernel_profiler
+        k = kp._countdown - 1
+        if k <= 0:
+            return self._step_sampled(kp)
+        kp._countdown = k
+        try:
+            self._now, _, _, event = heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule("no scheduled events") from None
+        self.events_processed += 1
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            raise event._value
+
+    def _run_profiled(self):
+        """The :meth:`run` event loop with the profiler's fast path inlined.
+
+        Semantically one ``while True: self._step_profiled()`` loop, but
+        with the common (countdown-only) case written inline and the
+        countdown held in a local.  That removes a per-event method call
+        and the profiler attribute loads — the difference between the
+        <5 % overhead budget holding and not, since the cheapest events
+        run only a few hundred nanoseconds.  The sampled branch stays a
+        method call: its cost is amortised over the sampling gap.
+        """
+        kp = self.kernel_profiler
+        queue = self._queue
+        pop = heappop
+        k = kp._countdown
+        try:
+            while True:
+                k -= 1
+                if k <= 0:
+                    try:
+                        self._step_sampled(kp)
+                    finally:
+                        k = kp._countdown  # the freshly drawn gap
+                    continue
+                try:
+                    self._now, _, _, event = pop(queue)
+                except IndexError:
+                    raise EmptySchedule("no scheduled events") from None
+                self.events_processed += 1
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+        finally:
+            kp._countdown = k
+
+    def _step_sampled(self, kp):
+        """One sampled step: draw the next gap, alternate the streams."""
+        # Deterministic 31-bit LCG (glibc constants — small ints keep
+        # the arithmetic cheap): randomised gaps mean a model whose
+        # event stream repeats with period p can never line up with the
+        # sampling so that one event type soaks up every sample.  Mean
+        # gap == sample_every / 2 per draw, and the two streams
+        # alternate, so each stream samples roughly one event in
+        # sample_every.
+        rng = (kp._rng * 1103515245 + 12345) & 0x7FFFFFFF
+        kp._rng = rng
+        kp._countdown = 1 + (rng >> 16) % kp._gap_limit
+        if kp._stream == 0:
+            kp._stream = 1
+            return self._step_timed(kp)
+        kp._stream = 0
+        return self._step_callbacks_timed(kp)
+
+    def _step_timed(self, kp):
+        """Sampled step: time pop + dispatch, charge the event's type."""
+        depth = len(self._queue)  # pre-pop agenda depth
+        if not depth:
+            raise EmptySchedule("no scheduled events")
+        if depth > kp.max_depth:
+            kp.max_depth = depth
+        kp._depth_hist.observe(depth)
+        t0 = perf_counter_ns()
+        self._now, _, _, event = heappop(self._queue)
+        self.events_processed += 1
+        callbacks, event.callbacks = event.callbacks, None
+        kp._sampled += 1
+        rec = kp._types.get(event.__class__)
+        if rec is None:
+            rec = kp._types[event.__class__] = [0, 0, 0]
+        rec[0] += 1
+        rec[1] += len(callbacks)
+        try:
+            for callback in callbacks:
+                callback(event)
+        finally:
+            # finally: a raising callback still gets its time charged.
+            t1 = perf_counter_ns()
+            rec[2] += t1 - t0
+            if kp.timeline_every and kp._sampled >= kp._next_mark:
+                kp._mark(t1)
+        if not event._ok and not event._defused:
+            raise event._value
+
+    def _step_callbacks_timed(self, kp):
+        """Sampled step: time each callback, charge its callsite."""
+        try:
+            self._now, _, _, event = heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule("no scheduled events") from None
+        self.events_processed += 1
+        callbacks, event.callbacks = event.callbacks, None
+        kp._cb_sampled += 1
+        rec = kp._types.get(event.__class__)
+        if rec is None:
+            rec = kp._types[event.__class__] = [0, 0, 0]
+        rec[0] += 1
+        rec[1] += len(callbacks)
+        for callback in callbacks:
+            c0 = perf_counter_ns()
+            callback(event)
+            kp.record_callback(callback, perf_counter_ns() - c0)
+        if not event._ok and not event._defused:
             raise event._value
 
     def run(self, until=None):
@@ -160,9 +352,20 @@ class Environment:
                 raise until._value
             until.callbacks.append(_StopSimulation.callback)
 
+        # When profiling, the whole event loop is timed here — two clock
+        # reads per run() call instead of two per event — which is what
+        # lets the per-event hooks stay cheap enough for the <5%
+        # overhead budget (per-type timings are sampled and extrapolated
+        # against this exactly measured total).
+        kp = self.kernel_profiler
+        t0 = perf_counter_ns() if kp is not None else 0
         try:
-            while True:
-                self.step()
+            if kp is None:
+                step = self.step
+                while True:
+                    step()
+            else:
+                self._run_profiled()
         except _StopSimulation as stop:
             ev = stop.event
             if ev._ok:
@@ -174,6 +377,9 @@ class Environment:
                     "simulation ran out of events before `until` fired"
                 ) from None
             return None
+        finally:
+            if kp is not None:
+                kp.kernel_ns += perf_counter_ns() - t0
 
     def run_all(self, max_events=None):
         """Run until the agenda is empty, optionally bounding event count.
@@ -184,11 +390,18 @@ class Environment:
         at most ``max_events`` events are processed before raising.
         """
         start = self.events_processed
-        while self._queue:
-            if (max_events is not None
-                    and self.events_processed - start >= max_events):
-                raise SimulationError(f"exceeded {max_events} events")
-            self.step()
+        kp = self.kernel_profiler
+        step = self.step if kp is None else self._step_profiled
+        t0 = perf_counter_ns() if kp is not None else 0
+        try:
+            while self._queue:
+                if (max_events is not None
+                        and self.events_processed - start >= max_events):
+                    raise SimulationError(f"exceeded {max_events} events")
+                step()
+        finally:
+            if kp is not None:
+                kp.kernel_ns += perf_counter_ns() - t0
         return self.events_processed - start
 
     def __repr__(self):

@@ -112,11 +112,18 @@ class Resource:
 
     def _do_request(self, request):
         heappush(self.queue, (self._sort_key(request), request))
+        kp = self.env.kernel_profiler
+        if kp is not None:
+            kp.count("resource.requests")
+            kp.depth("resource.queue_depth", len(self.queue))
         self._trigger()
 
     def _do_cancel(self, request):
         if request in self.users:
             self.users.remove(request)
+            kp = self.env.kernel_profiler
+            if kp is not None:
+                kp.count("resource.releases")
             self._trigger()
         else:
             self.queue = [(k, r) for (k, r) in self.queue if r is not request]
@@ -125,6 +132,9 @@ class Resource:
     def _grant(self, request):
         request.usage_since = self.env.now
         self.users.append(request)
+        kp = self.env.kernel_profiler
+        if kp is not None:
+            kp.count("resource.grants")
         request.succeed()
 
     def _trigger(self):
@@ -180,6 +190,9 @@ class PreemptiveResource(PriorityResource):
                 request.priority,
                 request.time,
             ):
+                kp = self.env.kernel_profiler
+                if kp is not None:
+                    kp.count("resource.preemptions")
                 self.users.remove(victim)
                 if victim.proc is None or not victim.proc.is_alive:
                     raise SimulationError(

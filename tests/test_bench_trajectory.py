@@ -214,6 +214,55 @@ def test_run_scenarios_records_real_run(tmp_path):
     assert again[0]["events"] == s["events"]
 
 
+def test_run_scenarios_records_kernel_profile(tmp_path):
+    scenarios = run_scenarios(scale_name="smoke", figures=(6,))
+    (s,) = scenarios
+    kernel = s["kernel_profile"]
+    # The kernel clock sees every environment in the sweep, so it counts
+    # at least as many pops as the scenario's model-level event total.
+    assert kernel["events"] >= s["events"]
+    assert kernel["kernel_s"] > 0
+    assert kernel["pushes"] >= kernel["events"]
+    assert kernel["max_agenda_depth"] >= 1
+    assert kernel["event_types"]  # non-empty ranked breakdown
+    top = next(iter(kernel["event_types"].values()))
+    assert set(top) == {"count", "s", "share"}
+    # The document level merges per-scenario sections into one.
+    doc = bench_document(scenarios, scale_name="smoke")
+    merged = doc["kernel_profile"]
+    assert merged["events"] == kernel["events"]
+    assert merged["kernel_s"] == pytest.approx(kernel["kernel_s"])
+    path = write_bench(doc, tmp_path / "BENCH_kp.json")
+    assert load_bench(path)["kernel_profile"]["events"] == kernel["events"]
+    # Opting out keeps the document lean (and the run unprofiled).
+    plain = run_scenarios(scale_name="smoke", figures=(6,),
+                          kernel_profile=False)
+    assert "kernel_profile" not in plain[0]
+    assert "kernel_profile" not in bench_document(plain)
+
+
+def test_load_accepts_v1_documents(tmp_path):
+    """Pre-kernel-profiler baselines (repro-bench/1) must keep loading."""
+    doc = _doc()
+    assert "kernel_profile" not in doc["scenarios"][0]
+    doc["schema"] = "repro-bench/1"
+    path = tmp_path / "BENCH_v1.json"
+    path.write_text(json.dumps(doc))
+    loaded = load_bench(path)
+    assert loaded["schema"] == "repro-bench/1"
+    rows = trajectory_series([loaded])
+    assert rows[0]["kernel_events_per_sec"] is None
+
+
+def test_load_rejects_malformed_kernel_profile(tmp_path):
+    doc = _doc()
+    doc["kernel_profile"] = {"kernel_s": 1.0}  # missing the other keys
+    path = tmp_path / "BENCH_bad.json"
+    path.write_text(json.dumps(doc))
+    with pytest.raises(ValueError, match="kernel_profile"):
+        load_bench(path)
+
+
 def test_checked_in_baseline_is_valid(tmp_path):
     import pathlib
 
@@ -223,6 +272,23 @@ def test_checked_in_baseline_is_valid(tmp_path):
     assert doc["scale"] == "smoke"
     assert [s["figure"] for s in doc["scenarios"]] == [3, 4, 5, 6]
     assert doc["calibration"] is not None
+    # The baseline was re-recorded under the kernel self-profiler.
+    assert doc["schema"] == SCHEMA
+    assert doc["kernel_profile"]["events"] > 0
+
+
+def test_checked_in_trajectory_has_multiple_points():
+    """The repo carries a real trajectory: baseline plus at least one
+    later dated point, so run-over-run comparison has data to chew."""
+    import pathlib
+
+    results = pathlib.Path(__file__).resolve().parent.parent / "results"
+    trajectory = load_trajectory(results)
+    assert len(trajectory) >= 2
+    ids = [run_id_of(doc) for _p, doc in trajectory]
+    assert "baseline" in ids
+    rows = trajectory_series([doc for _p, doc in trajectory])
+    assert any(r["kernel_events_per_sec"] for r in rows)
 
 
 def test_run_scenarios_parallel_records_both_wall_clocks():

@@ -1,0 +1,427 @@
+"""Tests for the kernel self-profiler (repro.obs.kernelprof).
+
+Covers the zero-cost-when-off guarantee (byte-identical results and
+figure CSV with the profiler uninstalled), the <5 % calibration-
+normalised overhead ceiling when enabled, the accounting invariants of
+the ``repro-kernelprof/1`` document (per-type counts sum to the event
+total, per-type time sums to the measured kernel time), schema
+round-trips, the process-global install/restore discipline, the
+model-layer counters (resources, comm), the collapsed-stack export,
+and the ``events_processed`` increment-before-dispatch fix.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.core import MulticomputerSystem, SystemConfig, TimeSharing
+from repro.experiments.config import ExperimentScale, figure_spec
+from repro.experiments.report import grid_to_csv
+from repro.experiments.runner import run_figure
+from repro.experiments.serialization import result_to_dict
+from repro.obs.kernelprof import (
+    KernelProfiler,
+    SCHEMA,
+    format_kernelprof,
+    kernel_collapsed_lines,
+    kernel_profile,
+    load_kernelprof,
+    validate_kernelprof,
+    write_kernelprof,
+)
+from repro.sim import (
+    Environment,
+    Resource,
+    active_kernel_profiler,
+    set_kernel_profiler,
+)
+from repro.sim.exceptions import SimulationError
+from repro.workload import standard_batch
+
+from tests.conftest import ideal_transputer
+
+
+def _small_run(telemetry=False):
+    cfg = SystemConfig(num_nodes=8, topology="linear",
+                       transputer=ideal_transputer(), telemetry=telemetry)
+    batch = standard_batch("matmul", num_small=4, num_large=2,
+                           small_size=16, large_size=32)
+    return MulticomputerSystem(cfg, TimeSharing()).run_batch(batch)
+
+
+def _normalised(result):
+    data = result_to_dict(result)
+    for i, job in enumerate(data["jobs"]):
+        job["name"] = f"job#{i}"
+    return json.dumps(data, sort_keys=True).encode()
+
+
+def _profiled_doc(**kwargs):
+    """One small profiled run; returns the validated document."""
+    with kernel_profile(**kwargs) as kp:
+        _small_run()
+    return validate_kernelprof(kp.document())
+
+
+# -- install / restore discipline ----------------------------------------
+def test_profiler_installs_and_restores_global():
+    assert active_kernel_profiler() is None
+    with kernel_profile() as kp:
+        assert active_kernel_profiler() is kp
+        env = Environment()
+        assert env.kernel_profiler is kp
+    assert active_kernel_profiler() is None
+    assert Environment().kernel_profiler is None
+
+
+def test_profiler_restored_on_exception():
+    with pytest.raises(RuntimeError):
+        with kernel_profile():
+            raise RuntimeError("boom")
+    assert active_kernel_profiler() is None
+
+
+def test_set_kernel_profiler_returns_previous():
+    sentinel = KernelProfiler()
+    assert set_kernel_profiler(sentinel) is None
+    try:
+        assert active_kernel_profiler() is sentinel
+    finally:
+        assert set_kernel_profiler(None) is sentinel
+    assert active_kernel_profiler() is None
+
+
+def test_environments_created_in_block_are_counted():
+    with kernel_profile() as kp:
+        Environment()
+        Environment()
+    assert kp.environments == 2
+
+
+def test_attach_to_preexisting_environment():
+    def noop(env):
+        yield env.timeout(1)
+
+    env = Environment()
+    assert env.kernel_profiler is None
+    kp = KernelProfiler().start()
+    try:
+        kp.attach(env)
+        env.process(noop(env))
+        env.run()
+    finally:
+        kp.stop()
+    doc = validate_kernelprof(kp.document())
+    assert doc["events"] > 0
+
+
+# -- accounting invariants ------------------------------------------------
+def test_document_accounting_invariants():
+    doc = _profiled_doc()
+    assert doc["schema"] == SCHEMA
+    assert doc["events"] > 0
+    assert sum(r["count"] for r in doc["event_types"].values()) == (
+        doc["events"]
+    )
+    type_s = sum(r["s"] for r in doc["event_types"].values())
+    # By construction every step's wall-clock lands in exactly one type
+    # bucket; serialisation rounding is the only slack.
+    assert type_s == pytest.approx(doc["kernel_s"], rel=1e-9)
+    assert type_s >= 0.9 * doc["kernel_s"]
+    assert doc["agenda"]["pops"] == doc["events"]
+    assert doc["agenda"]["pushes"] >= doc["events"]
+    assert doc["agenda"]["max_depth"] >= 1
+    assert 0.0 < doc["coverage"] <= 1.0
+    # Ranked hottest-first.
+    shares = [r["s"] for r in doc["event_types"].values()]
+    assert shares == sorted(shares, reverse=True)
+
+
+def test_document_records_model_layer_counters():
+    doc = _profiled_doc()
+    counters = doc["counters"]
+    assert counters["comm.messages"] > 0
+    assert counters["comm.packet_hops"] > 0
+    assert "comm.path_hops" in doc["queues"]
+    assert doc["queues"]["comm.path_hops"]["count"] == (
+        counters["comm.messages"]
+    )
+
+
+def test_resource_counters():
+    def worker(env, res):
+        with res.request() as req:
+            yield req
+            yield env.timeout(1.0)
+
+    with kernel_profile() as kp:
+        env = Environment()
+        res = Resource(env, capacity=2)
+        for _ in range(10):
+            env.process(worker(env, res))
+        env.run()
+    doc = validate_kernelprof(kp.document())
+    assert doc["counters"]["resource.requests"] == 10
+    assert doc["counters"]["resource.grants"] == 10
+    assert doc["counters"]["resource.releases"] == 10
+    assert doc["queues"]["resource.queue_depth"]["count"] == 10
+
+
+def test_callback_sites_sampled():
+    doc = _profiled_doc(sample_every=1)
+    assert doc["sampled_events"] > 0
+    assert doc["callback_sites"]
+    # Process resumptions dominate any real simulation.
+    assert any(site.startswith("Process._resume")
+               for site in doc["callback_sites"])
+
+
+def test_timeline_marks():
+    doc = _profiled_doc(timeline_every=500)
+    assert len(doc["timeline"]) >= 2
+    assert doc["timeline"][-1]["events"] == doc["events"]
+    assert all(p["events_per_sec"] >= 0 for p in doc["timeline"])
+    elapsed = [p["elapsed_s"] for p in doc["timeline"]]
+    assert elapsed == sorted(elapsed)
+
+
+def test_memory_attribution_opt_in():
+    doc = _profiled_doc(memory=True, timeline_every=500)
+    alloc = doc["allocations"]
+    assert alloc["enabled"] is True
+    assert alloc["peak_kb"] > 0
+    assert alloc["top"], "allocation top-N must not be empty"
+    assert all(":" in entry["site"] for entry in alloc["top"])
+    assert "traced_kb" in doc["timeline"][-1]
+    # Off by default.
+    assert _profiled_doc()["allocations"] == {"enabled": False}
+
+
+# -- events_processed counter fix (satellite) -----------------------------
+def test_events_processed_counts_raising_callback():
+    """A callback that raises must not understate the counter."""
+    env = Environment()
+    ev = env.event()
+    ev.succeed()
+    ev.callbacks.append(lambda e: (_ for _ in ()).throw(RuntimeError("x")))
+    with pytest.raises(RuntimeError):
+        env.run()
+    assert env.events_processed == 1
+
+
+def test_events_processed_counts_raising_callback_profiled():
+    with kernel_profile() as kp:
+        env = Environment()
+        ev = env.event()
+        ev.succeed()
+        ev.callbacks.append(
+            lambda e: (_ for _ in ()).throw(RuntimeError("x")))
+        with pytest.raises(RuntimeError):
+            env.run()
+        assert env.events_processed == 1
+    # The raising step still gets its wall-clock charged to its type.
+    doc = kp.document()
+    assert doc["events"] == 1
+    assert doc["event_types"]["Event"]["count"] == 1
+
+
+def test_events_processed_counts_unhandled_failure():
+    env = Environment()
+    ev = env.event()
+    ev.fail(SimulationError("deliberate"))
+    with pytest.raises(SimulationError):
+        env.run()
+    assert env.events_processed == 1
+
+
+# -- zero-cost-when-off: byte-identical results ---------------------------
+def test_profiler_off_results_byte_identical():
+    plain = _small_run()
+    with kernel_profile():
+        profiled = _small_run()
+    off_again = _small_run()
+    assert _normalised(plain) == _normalised(off_again)
+    # The profiler must not perturb the simulated trajectory either.
+    assert _normalised(plain) == _normalised(profiled)
+    assert plain.snapshot == profiled.snapshot
+
+
+def test_profiler_off_figure_csv_byte_identical():
+    spec = figure_spec(6)
+    scale = ExperimentScale.smoke()
+    plain = grid_to_csv(run_figure(spec, scale))
+    with kernel_profile():
+        profiled = grid_to_csv(run_figure(spec, scale))
+    assert plain == profiled
+
+
+def test_profiler_does_not_disturb_telemetry_stream():
+    plain = _small_run(telemetry=True)
+    with kernel_profile():
+        profiled = _small_run(telemetry=True)
+    assert _normalised(plain) == _normalised(profiled)
+
+
+# -- overhead ceiling -----------------------------------------------------
+def test_overhead_under_ceiling():
+    """Calibration-normalised profiling overhead < 5 % on the smoke run.
+
+    Methodology for noisy hosts: runs come in adjacent off/on pairs,
+    each normalised by an adjacent calibration score so host-speed
+    drift (thermal, noisy neighbours) partially cancels, and the
+    verdict is the *minimum* pairwise ratio.  Host noise can only
+    inflate a ratio — a single clean pair at or below the ceiling
+    already proves the intrinsic overhead is below it, while a genuine
+    regression (every pair above the ceiling) still fails reliably.
+    """
+    from repro.experiments.bench_json import calibrate
+
+    spec = figure_spec(6)
+    scale = ExperimentScale.smoke()
+    run_figure(spec, scale)  # warm every import/JIT-ish cache
+    with kernel_profile():
+        run_figure(spec, scale)
+
+    def measure(profiled):
+        cal = calibrate(repeats=1)
+        t0 = time.perf_counter()
+        if profiled:
+            with kernel_profile():
+                run_figure(spec, scale)
+        else:
+            run_figure(spec, scale)
+        return (time.perf_counter() - t0) / cal
+
+    ratios = []
+    for _ in range(5):
+        off = measure(False)
+        on = measure(True)
+        ratios.append(on / off)
+        if ratios[-1] - 1.0 < 0.05:
+            break  # a clean pair bounds the intrinsic overhead
+    overhead = min(ratios) - 1.0
+    assert overhead < 0.05, (
+        f"profiling overhead {overhead:.1%} exceeds the 5% ceiling "
+        f"in every one of {len(ratios)} paired runs (ratios={ratios})"
+    )
+
+
+# -- schema round-trip ----------------------------------------------------
+def test_document_json_round_trip(tmp_path):
+    doc = _profiled_doc()
+    path = tmp_path / "kernel.json"
+    write_kernelprof(doc, path)
+    loaded = load_kernelprof(path)
+    assert loaded == json.loads(json.dumps(doc))
+    validate_kernelprof(loaded)
+
+
+def test_validate_rejects_wrong_schema():
+    doc = _profiled_doc()
+    doc["schema"] = "repro-kernelprof/999"
+    with pytest.raises(ValueError, match="schema"):
+        validate_kernelprof(doc)
+    with pytest.raises(ValueError):
+        validate_kernelprof([])
+
+
+def test_validate_rejects_truncated_document():
+    doc = _profiled_doc()
+    del doc["agenda"]
+    with pytest.raises(ValueError, match="agenda"):
+        validate_kernelprof(doc)
+
+
+def test_validate_rejects_inconsistent_counts():
+    doc = _profiled_doc()
+    name = next(iter(doc["event_types"]))
+    doc["event_types"][name]["count"] += 1
+    with pytest.raises(ValueError, match="counts sum"):
+        validate_kernelprof(doc)
+
+
+def test_validate_rejects_undercovered_breakdown():
+    doc = _profiled_doc()
+    for rec in doc["event_types"].values():
+        rec["s"] *= 0.5  # breakdown now covers only 50% of kernel_s
+    with pytest.raises(ValueError, match="90%"):
+        validate_kernelprof(doc)
+
+
+def test_validate_rejects_empty_breakdown_with_events():
+    doc = _profiled_doc()
+    doc["event_types"] = {}
+    with pytest.raises(ValueError, match="breakdown is empty"):
+        validate_kernelprof(doc)
+
+
+def test_load_rejects_malformed_json(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{not json")
+    with pytest.raises(ValueError, match="not valid JSON"):
+        load_kernelprof(path)
+
+
+# -- exports and rendering ------------------------------------------------
+def test_collapsed_stack_export(tmp_path):
+    from repro.obs.profile import write_collapsed_lines
+
+    doc = _profiled_doc(sample_every=1)
+    lines = kernel_collapsed_lines(doc)
+    assert lines
+    for line in lines:
+        stack, count = line.rsplit(" ", 1)
+        assert stack.startswith("kernel;")
+        assert int(count) > 0
+    assert any(l.startswith("kernel;dispatch;") for l in lines)
+    assert any(l.startswith("kernel;callbacks;") for l in lines)
+    out = tmp_path / "kernel.collapsed"
+    write_collapsed_lines(out, lines)
+    assert out.read_text().splitlines() == lines
+
+
+def test_format_kernelprof_report():
+    doc = _profiled_doc(sample_every=1)
+    report = format_kernelprof(doc, top=5)
+    assert "events/s" in report
+    assert "agenda:" in report
+    hottest = next(iter(doc["event_types"]))
+    assert hottest in report
+    assert "comm.messages" in report
+
+
+def test_summary_is_compact_and_consistent():
+    with kernel_profile() as kp:
+        _small_run()
+    doc = kp.document()
+    summary = kp.summary(top=3)
+    assert summary["events"] == doc["events"]
+    assert summary["kernel_s"] == doc["kernel_s"]
+    assert len(summary["event_types"]) <= 3
+    assert list(summary["event_types"]) == list(doc["event_types"])[:3]
+
+
+def test_sample_every_validation():
+    with pytest.raises(ValueError):
+        KernelProfiler(sample_every=0)
+
+
+# -- CLI ------------------------------------------------------------------
+def test_cli_hotspots_smoke(tmp_path, capsys):
+    from repro.experiments.cli import main
+
+    out_json = tmp_path / "hot.json"
+    out_flame = tmp_path / "kernel.collapsed"
+    code = main(["hotspots", "--figure", "6", "--scale", "smoke",
+                 "--kernelprof-out", str(out_json),
+                 "--flame-out", str(out_flame)])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "Hotspots: figure 6" in captured
+    assert "agenda:" in captured
+    doc = load_kernelprof(out_json)
+    assert doc["events"] > 0
+    assert out_flame.read_text().strip()
+    # The CLI must uninstall the profiler on the way out.
+    assert active_kernel_profiler() is None
