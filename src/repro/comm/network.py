@@ -92,6 +92,13 @@ class Network:
         self.nodes = {n: nodes[n] for n in topology.nodes}
         self.router = build_router(topology, routing)
         self.stats = NetworkStats()
+        # Fast-path bindings: observability is attached to the
+        # environment before the system's components are constructed
+        # (see ``system.build``), so one load each here replaces the
+        # per-packet-hop ``env.telemetry`` / ``env.kernel_profiler``
+        # attribute chains.
+        self._tel = env.telemetry
+        self._kp = env.kernel_profiler
 
         diameter = topology.graph.diameter() if len(topology.nodes) > 1 else 0
         # Hop classes 0 .. max_hops-1 are enough: a packet that has made
@@ -167,7 +174,7 @@ class Network:
         message.sent_at = env.now
         self.stats.messages_sent += 1
         self.stats.bytes_sent += message.nbytes
-        kp = env.kernel_profiler
+        kp = self._kp
         if kp is not None:
             kp.count("comm.messages")
 
@@ -210,71 +217,16 @@ class Network:
         )
 
         packets = fragment(message, cfg.packet_bytes)
-        done = [
-            env.process(
-                self._packet_transit(pkt, path),
-                name=f"pkt{message.msg_id}.{pkt.index}",
-            )
-            for pkt in packets
-        ]
+        done = [_PacketWalker(self, pkt, path).done for pkt in packets]
         yield env.all_of(done)
         self._deliver(message, alloc)
         return message
-
-    def _packet_transit(self, packet, path):
-        """Move one packet along ``path`` hop by hop (store-and-forward)."""
-        env = self.env
-        cfg = self.config
-        kp = env.kernel_profiler
-        if kp is not None:
-            # One batched bump per packet, not one per hop — the hop
-            # count is known up front and hook calls are hot-path cost.
-            kp.count("comm.packet_hops", len(path) - 1)
-        held = None  # transit buffer occupied at the current node
-        for hop, (u, v) in enumerate(zip(path, path[1:])):
-            v_node = self.nodes[v]
-            if v == path[-1]:
-                # Final hop: the packet lands in the message's pre-
-                # reserved reassembly region — no transit buffer needed.
-                slot = None
-            else:
-                slot = yield v_node.buffers.acquire(
-                    hop, owner=packet.message.job_id
-                )
-            link = self.nodes[u].link_to(v)
-            tel = env.telemetry
-            if tel is not None:
-                wait = link.backlog
-                service = link.startup + packet.nbytes / link.bandwidth
-                tel.slice("link.transfer", f"link{u}->{v}",
-                          env.now + wait, service,
-                          node=u, dst=v, nbytes=packet.nbytes, wait=wait)
-                tel.metrics.counter("net.packet_hops").inc()
-                tel.metrics.gauge(f"link.backlog.node{u}->{v}").set(
-                    wait + service
-                )
-                tel.metrics.gauge(f"link.busy.node{u}->{v}").set(
-                    link.stats.busy_time + service
-                )
-            yield link.transmit(packet.nbytes)
-            self.stats.record_hop(v, packet.nbytes)
-            if held is not None:
-                held.release()
-            held = slot
-            # Per-packet forwarding/receive software at the arriving node:
-            # fixed overhead plus the store-and-forward memory copy.
-            yield v_node.cpu.execute(
-                cfg.hop_cpu_cost(packet.nbytes), HIGH, tag="comm"
-            )
-        if held is not None:
-            held.release()
-        return packet
 
     def _deliver(self, message, allocation):
         self.stats.messages_delivered += 1
         self.nodes[message.dst].mailbox.deliver(message, allocation)
         self.stats.total_latency += message.delivered_at - message.sent_at
-        tel = self.env.telemetry
+        tel = self._tel
         if tel is not None:
             latency = message.delivered_at - message.sent_at
             tel.metrics.counter("net.messages").inc()
@@ -286,3 +238,126 @@ class Network:
                       src=message.src, dst=message.dst,
                       src_proc=message.src_proc, dst_proc=message.dst_proc,
                       job=message.job_id, nbytes=message.nbytes)
+
+
+class _PacketWalker:
+    """Move one packet along its path as a callback state machine.
+
+    The successor of the old per-packet ``_packet_transit`` generator
+    process: each continuation mirrors one of the generator's ``yield``
+    points exactly — same events created at the same execution points
+    with callbacks appended in the same order — so the simulated
+    trajectory is byte-identical, but each hop costs three plain
+    function calls instead of three generator suspensions plus the
+    :class:`Process` bookkeeping around them.  The walker stays alive
+    between continuations through the bound-method callback parked on
+    the event it waits for.
+
+    Per hop (store-and-forward): acquire a transit buffer at the
+    receiving node (skipped on the final hop — the packet lands in the
+    message's pre-reserved reassembly region), transmit across the
+    link, release the buffer held at the previous node, then charge the
+    per-packet forwarding software to the receiving node's high-priority
+    CPU queue.  ``done`` triggers with the packet after the last hop
+    (taking the place of the old packet Process's end event, one for
+    one) or fails with the first awaited event's failure.
+    """
+
+    __slots__ = ("network", "packet", "path", "hop", "held", "slot", "done")
+
+    def __init__(self, network, packet, path):
+        self.network = network
+        self.packet = packet
+        self.path = path
+        self.hop = 0
+        #: Transit buffer occupied at the current node, released only
+        #: after the packet has crossed the next link (store-and-forward).
+        self.held = None
+        #: Buffer granted at the next node, adopted as ``held`` there.
+        self.slot = None
+        self.done = network.env.event()
+        network.env.kick(self._start)
+
+    def _start(self, _event):
+        kp = self.network._kp
+        if kp is not None:
+            # One batched bump per packet, not one per hop — the hop
+            # count is known up front and hook calls are hot-path cost.
+            kp.count("comm.packet_hops", len(self.path) - 1)
+        self._next_hop()
+
+    def _next_hop(self):
+        hop = self.hop
+        path = self.path
+        if hop >= len(path) - 1:
+            if self.held is not None:
+                self.held.release()
+            self.done.succeed(self.packet)
+            return
+        v = path[hop + 1]
+        if v == path[-1]:
+            # Final hop: no transit buffer — straight to the link.
+            self._transmit(None)
+            return
+        request = self.network.nodes[v].buffers.acquire(
+            hop, owner=self.packet.message.job_id
+        )
+        request.callbacks.append(self._on_buffer)
+
+    def _on_buffer(self, event):
+        if not event._ok:
+            event._defused = True
+            self.done.fail(event._value)
+            return
+        self._transmit(event._value)
+
+    def _transmit(self, slot):
+        network = self.network
+        packet = self.packet
+        u = self.path[self.hop]
+        v = self.path[self.hop + 1]
+        self.slot = slot
+        link = network.nodes[u].link_to(v)
+        tel = network._tel
+        if tel is not None:
+            env = network.env
+            wait = link.backlog
+            service = link.startup + packet.nbytes / link.bandwidth
+            tel.slice("link.transfer", f"link{u}->{v}",
+                      env.now + wait, service,
+                      node=u, dst=v, nbytes=packet.nbytes, wait=wait)
+            tel.metrics.counter("net.packet_hops").inc()
+            tel.metrics.gauge(f"link.backlog.node{u}->{v}").set(
+                wait + service
+            )
+            tel.metrics.gauge(f"link.busy.node{u}->{v}").set(
+                link.stats.busy_time + service
+            )
+        link.transmit(packet.nbytes).callbacks.append(self._on_link)
+
+    def _on_link(self, event):
+        if not event._ok:
+            event._defused = True
+            self.done.fail(event._value)
+            return
+        network = self.network
+        packet = self.packet
+        v = self.path[self.hop + 1]
+        network.stats.record_hop(v, packet.nbytes)
+        if self.held is not None:
+            self.held.release()
+        self.held = self.slot
+        # Per-packet forwarding/receive software at the arriving node:
+        # fixed overhead plus the store-and-forward memory copy.
+        work = network.nodes[v].cpu.execute(
+            network.config.hop_cpu_cost(packet.nbytes), HIGH, tag="comm"
+        )
+        work.callbacks.append(self._on_cpu)
+
+    def _on_cpu(self, event):
+        if not event._ok:
+            event._defused = True
+            self.done.fail(event._value)
+            return
+        self.hop += 1
+        self._next_hop()

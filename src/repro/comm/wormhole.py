@@ -43,6 +43,10 @@ class WormholeNetwork:
         self.nodes = {n: nodes[n] for n in topology.nodes}
         self.router = build_router(topology, routing)
         self.stats = NetworkStats()
+        # Fast-path bindings (observability is attached before the
+        # system's components are constructed; see ``system.build``).
+        self._tel = env.telemetry
+        self._kp = env.kernel_profiler
         #: One single-occupancy channel per directed edge.
         self._channels = {}
         for u, v in topology.graph.edges:
@@ -80,7 +84,7 @@ class WormholeNetwork:
         message.sent_at = env.now
         self.stats.messages_sent += 1
         self.stats.bytes_sent += message.nbytes
-        kp = env.kernel_profiler
+        kp = self._kp
         if kp is not None:
             kp.count("comm.messages")
 
@@ -145,7 +149,7 @@ class WormholeNetwork:
         self.stats.messages_delivered += 1
         self.nodes[message.dst].mailbox.deliver(message, allocation)
         self.stats.total_latency += message.delivered_at - message.sent_at
-        tel = self.env.telemetry
+        tel = self._tel
         if tel is not None:
             latency = message.delivered_at - message.sent_at
             tel.metrics.counter("net.messages").inc()

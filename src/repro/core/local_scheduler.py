@@ -21,6 +21,11 @@ class LocalScheduler:
 
     def __init__(self, node):
         self.node = node
+        # Fast-path binding: telemetry is attached to the environment
+        # before the system's components are constructed (see
+        # ``system.build``), so one load here replaces the
+        # ``node.env.telemetry`` attribute chain on every dispatch.
+        self._tel = node.env.telemetry
         #: CPU seconds consumed per job id on this node.
         self.job_cpu_time = defaultdict(float)
         #: Burst count per job id.
@@ -46,7 +51,7 @@ class LocalScheduler:
             work_seconds, priority=LOW, quantum=quantum, tag=job.job_id,
             proc=proc,
         )
-        tel = self.node.env.telemetry
+        tel = self._tel
         if tel is not None:
             tel.metrics.histogram("sched.burst_seconds").observe(work_seconds)
             tel.metrics.gauge(

@@ -138,9 +138,16 @@ class SemiStaticSpaceSharing(StaticSpaceSharing):
             raise ValueError("batch_size must be >= 1")
         target_partitions = min(batch_size, num_nodes)
         p = max(1, num_nodes // target_partitions)
-        p = 1 << (p.bit_length() - 1)  # power of two (always divides P)
         if self.max_partition is not None:
             p = min(p, self.max_partition)
+        # Largest power-of-two *divisor* of the machine that is <= p.
+        # Rounding to the leading power of two alone is not enough on
+        # non-power-of-two machines (24 nodes, batch 1: 24 -> 16, which
+        # does not divide 24 and validate() rejects); halving until it
+        # divides always terminates at 1.
+        p = 1 << (p.bit_length() - 1)
+        while num_nodes % p:
+            p >>= 1
         return p
 
     def reconfigure(self, batch_size, num_nodes):

@@ -117,8 +117,10 @@ def _site_name(callback):
     (``Condition._check``, ``_StopSimulation.callback``); a bound method
     of a named object — in practice :class:`~repro.sim.events.Process`
     resumptions — additionally carries its digit-stripped name group, so
-    ``Process._resume[pkt.]`` separates packet-transit resumptions from
-    worker-process resumptions without exploding cardinality.
+    ``Process._resume[job-mm]`` separates one job family's resumptions
+    from another's without exploding cardinality.  (Packet transit shows
+    up as ``_PacketWalker.*`` sites since the fast-path pass replaced
+    per-packet processes with callback walkers — see GUIDE §15.)
     """
     qual = getattr(callback, "__qualname__", None) or type(callback).__name__
     obj = getattr(callback, "__self__", None)

@@ -27,6 +27,7 @@ of the same model always produce identical traces.
 from repro.sim.environment import (
     Environment,
     active_kernel_profiler,
+    set_event_pooling,
     set_kernel_profiler,
 )
 from repro.sim.events import (
@@ -74,5 +75,6 @@ __all__ = [
     "Timeout",
     "URGENT",
     "active_kernel_profiler",
+    "set_event_pooling",
     "set_kernel_profiler",
 ]

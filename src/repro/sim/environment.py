@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from heapq import heappop, heappush
 from itertools import count
+from sys import getrefcount
 from time import perf_counter_ns
 
 from repro.sim.events import (
@@ -12,6 +13,7 @@ from repro.sim.events import (
     AllOf,
     AnyOf,
     Event,
+    Initialize,
     Process,
     Timeout,
 )
@@ -24,6 +26,23 @@ from repro.sim.exceptions import EmptySchedule, SimulationError
 #: parameter through every layer.  ``None`` means profiling is off and
 #: the event loop takes its unobserved fast path.
 _KERNEL_PROFILER = None
+
+#: Process-global toggle for the Timeout/Initialize free-list pools.
+#: Captured per-environment at construction (like the profiler slot) so
+#: the equivalence suite can run the same model with pooling on and off
+#: and compare trajectories byte for byte.
+_POOLING = True
+
+#: Agenda keys pack ``(priority, sequence)`` into one integer:
+#: ``(priority << _PRIORITY_SHIFT) | seq``.  With priorities limited to
+#: URGENT (0) and NORMAL (1) and the monotone sequence far below 2**56
+#: for any feasible run, integer comparison of the packed key is
+#: exactly the lexicographic comparison of the old ``(priority, seq)``
+#: tuple tail — same total order, one less tuple slot per entry and one
+#: comparison instead of up to two during heap sifts.
+_PRIORITY_SHIFT = 56
+_SEQ_MASK = (1 << _PRIORITY_SHIFT) - 1
+_NORMAL_BASE = NORMAL << _PRIORITY_SHIFT
 
 
 def set_kernel_profiler(profiler):
@@ -46,6 +65,22 @@ def active_kernel_profiler():
     return _KERNEL_PROFILER
 
 
+def set_event_pooling(enabled):
+    """Enable/disable event pooling for environments created afterwards.
+
+    Returns the previous setting so callers can restore it.  Pooling
+    recycles :class:`Timeout` and :class:`Initialize` instances through
+    per-environment free lists; an event is recycled only when, at
+    processing time, the event loop holds the sole remaining reference
+    (``sys.getrefcount == 2`` — the loop local plus the probe argument),
+    so pooled reuse is invisible to any code that kept a handle.
+    """
+    global _POOLING
+    previous = _POOLING
+    _POOLING = bool(enabled)
+    return previous
+
+
 class _StopSimulation(Exception):
     """Internal control-flow exception that ends :meth:`Environment.run`."""
 
@@ -62,9 +97,12 @@ class Environment:
     """Execution environment for a discrete-event simulation.
 
     The environment maintains the simulated clock (:attr:`now`) and an
-    agenda of triggered events ordered by ``(time, priority, sequence)``.
-    Processing an event runs its callbacks, which typically resume
-    waiting processes, which trigger further events, and so on.
+    agenda of triggered events ordered by ``(time, priority, sequence)``
+    — stored as ``(time, packed_key, event)`` heap entries, where the
+    packed key folds priority and sequence into one integer (see
+    ``_PRIORITY_SHIFT``).  Processing an event runs its callbacks, which
+    typically resume waiting processes, which trigger further events,
+    and so on.
 
     Determinism: the monotone sequence number guarantees FIFO processing
     of same-time, same-priority events, so repeated runs of the same
@@ -78,7 +116,7 @@ class Environment:
 
     def __init__(self, initial_time=0.0):
         self._now = initial_time
-        self._queue = []  # heap of (time, priority, seq, event)
+        self._queue = []  # heap of (time, (priority << 56) | seq, event)
         self._seq = count()
         self._active_process = None
         #: Number of events processed so far (useful for budget guards
@@ -88,6 +126,11 @@ class Environment:
         #: ``None`` means telemetry is off; instrumentation sites guard
         #: on it, so recording costs nothing when disabled.
         self.telemetry = None
+        #: Whether this environment recycles Timeout/Initialize events
+        #: (captured from the process-global toggle at construction).
+        self._pooling = _POOLING
+        self._free_timeouts = []
+        self._free_inits = []
         #: Optional :class:`repro.obs.kernelprof.KernelProfiler`
         #: measuring the *host* cost of this environment's event loop.
         #: Captured from the process-global slot at construction; the
@@ -118,8 +161,44 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay, value=None):
-        """Create a :class:`Timeout` that fires after ``delay``."""
+        """Create a :class:`Timeout` that fires after ``delay``.
+
+        Timeouts dominate most models' event mix, so this is the hottest
+        allocation site in the kernel: when the free list has a recycled
+        instance, reinitialise it inline (same validation and scheduling
+        as ``Timeout.__init__``) instead of allocating.
+        """
+        free = self._free_timeouts
+        if free:
+            if delay < 0 or delay != delay:
+                raise ValueError(f"invalid delay {delay}")
+            event = free.pop()
+            event.delay = delay
+            event.callbacks = []
+            event._value = value
+            event._defused = False
+            heappush(self._queue,
+                     (self._now + delay, _NORMAL_BASE | next(self._seq),
+                      event))
+            return event
         return Timeout(self, delay, value)
+
+    def kick(self, callback):
+        """Schedule ``callback`` to run once, urgently, at the current time.
+
+        The pooled factory behind process initialisation and
+        callback-driven state machines (see
+        :class:`~repro.comm.network.Network`).  Returns the
+        :class:`Initialize` event carrying the callback.
+        """
+        free = self._free_inits
+        if free:
+            event = free.pop()
+            event.callbacks = [callback]
+            heappush(self._queue,
+                     (self._now, next(self._seq), event))  # URGENT: key=seq
+            return event
+        return Initialize(self, callback)
 
     def process(self, generator, name=None):
         """Start a new :class:`Process` driving ``generator``."""
@@ -142,7 +221,33 @@ class Environment:
         still queued) and samples agenda depth at timed steps, so the
         scheduling fast path costs the same profiled or not.
         """
-        heappush(self._queue, (self._now + delay, priority, next(self._seq), event))
+        heappush(self._queue,
+                 (self._now + delay,
+                  (priority << _PRIORITY_SHIFT) | next(self._seq), event))
+
+    def _recycle(self, event):
+        """Return a just-processed event to its free list when safe.
+
+        An event is recycled only when the step machinery holds the sole
+        surviving references: from this frame the count is exactly 3 —
+        the caller's local, this function's argument, and the probe
+        argument (the inlined run loops use 2: loop local + probe).
+        That proves no model code kept a handle, so reuse cannot be
+        observed.  Only exact :class:`Timeout` / :class:`Initialize`
+        instances are pooled; both are always-ok events, so the
+        unhandled-failure check is skipped for them.
+        """
+        cls = event.__class__
+        if cls is Timeout:
+            if self._pooling and getrefcount(event) == 3:
+                event._value = None
+                self._free_timeouts.append(event)
+        elif cls is Initialize:
+            if self._pooling and getrefcount(event) == 3:
+                self._free_inits.append(event)
+        elif not event._ok and not event._defused:
+            # An unhandled failure: surface it so bugs don't pass silently.
+            raise event._value
 
     def step(self):
         """Process the next scheduled event.
@@ -155,7 +260,7 @@ class Environment:
         if self.kernel_profiler is not None:
             return self._step_profiled()
         try:
-            self._now, _, _, event = heappop(self._queue)
+            self._now, _, event = heappop(self._queue)
         except IndexError:
             raise EmptySchedule("no scheduled events") from None
 
@@ -167,10 +272,7 @@ class Environment:
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
-
-        if not event._ok and not event._defused:
-            # An unhandled failure: surface it so bugs don't pass silently.
-            raise event._value
+        self._recycle(event)
 
     def _step_profiled(self):
         """:meth:`step` with the kernel self-profiler's measurements.
@@ -199,15 +301,14 @@ class Environment:
             return self._step_sampled(kp)
         kp._countdown = k
         try:
-            self._now, _, _, event = heappop(self._queue)
+            self._now, _, event = heappop(self._queue)
         except IndexError:
             raise EmptySchedule("no scheduled events") from None
         self.events_processed += 1
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
-        if not event._ok and not event._defused:
-            raise event._value
+        self._recycle(event)
 
     def _run_profiled(self):
         """The :meth:`run` event loop with the profiler's fast path inlined.
@@ -223,6 +324,12 @@ class Environment:
         kp = self.kernel_profiler
         queue = self._queue
         pop = heappop
+        refs = getrefcount
+        pooling = self._pooling
+        free_timeouts = self._free_timeouts
+        free_inits = self._free_inits
+        timeout_cls = Timeout
+        init_cls = Initialize
         k = kp._countdown
         try:
             while True:
@@ -234,14 +341,22 @@ class Environment:
                         k = kp._countdown  # the freshly drawn gap
                     continue
                 try:
-                    self._now, _, _, event = pop(queue)
+                    self._now, _, event = pop(queue)
                 except IndexError:
                     raise EmptySchedule("no scheduled events") from None
                 self.events_processed += 1
                 callbacks, event.callbacks = event.callbacks, None
                 for callback in callbacks:
                     callback(event)
-                if not event._ok and not event._defused:
+                cls = event.__class__
+                if cls is timeout_cls:
+                    if pooling and refs(event) == 2:
+                        event._value = None
+                        free_timeouts.append(event)
+                elif cls is init_cls:
+                    if pooling and refs(event) == 2:
+                        free_inits.append(event)
+                elif not event._ok and not event._defused:
                     raise event._value
         finally:
             kp._countdown = k
@@ -265,7 +380,12 @@ class Environment:
         return self._step_callbacks_timed(kp)
 
     def _step_timed(self, kp):
-        """Sampled step: time pop + dispatch, charge the event's type."""
+        """Sampled step: time pop + dispatch, charge the event's type.
+
+        Sampled steps skip the free-list recycle on purpose: they are
+        one step in thousands, so skipping keeps them identical to the
+        pre-pooling code path and the timing attribution clean.
+        """
         depth = len(self._queue)  # pre-pop agenda depth
         if not depth:
             raise EmptySchedule("no scheduled events")
@@ -273,7 +393,7 @@ class Environment:
             kp.max_depth = depth
         kp._depth_hist.observe(depth)
         t0 = perf_counter_ns()
-        self._now, _, _, event = heappop(self._queue)
+        self._now, _, event = heappop(self._queue)
         self.events_processed += 1
         callbacks, event.callbacks = event.callbacks, None
         kp._sampled += 1
@@ -297,7 +417,7 @@ class Environment:
     def _step_callbacks_timed(self, kp):
         """Sampled step: time each callback, charge its callsite."""
         try:
-            self._now, _, _, event = heappop(self._queue)
+            self._now, _, event = heappop(self._queue)
         except IndexError:
             raise EmptySchedule("no scheduled events") from None
         self.events_processed += 1
@@ -337,14 +457,14 @@ class Environment:
                 until._ok = True
                 until._value = None
                 # URGENT so the deadline fires before same-time NORMAL
-                # model events.  The sequence number comes from the same
-                # monotone counter as every other agenda entry: a
-                # hard-coded sentinel (e.g. -1) could tie with another
+                # model events (URGENT == 0, so the packed key is the
+                # bare sequence number).  The sequence number comes from
+                # the same monotone counter as every other agenda entry:
+                # a hard-coded sentinel (e.g. -1) could tie with another
                 # same-time deadline and fall through to comparing the
                 # Event objects themselves, breaking the class's
                 # determinism guarantee.
-                heappush(self._queue,
-                         (at, URGENT, next(self._seq), until))
+                heappush(self._queue, (at, next(self._seq), until))
             elif until.callbacks is None:
                 # Already processed.
                 if until._ok:
@@ -361,9 +481,7 @@ class Environment:
         t0 = perf_counter_ns() if kp is not None else 0
         try:
             if kp is None:
-                step = self.step
-                while True:
-                    step()
+                self._run_fast()
             else:
                 self._run_profiled()
         except _StopSimulation as stop:
@@ -380,6 +498,49 @@ class Environment:
         finally:
             if kp is not None:
                 kp.kernel_ns += perf_counter_ns() - t0
+
+    def _run_fast(self):
+        """The unprofiled :meth:`run` event loop, fully inlined.
+
+        Semantically ``while True: self.step()``, with every per-event
+        attribute load hoisted into a local: the heap, ``heappop``,
+        the free lists, the pooling flag and the class probes.  The
+        events-processed counter is accumulated locally and flushed in
+        the ``finally`` (exactly once per consumed event, even when a
+        callback raises); nothing reads it mid-loop when the profiler
+        is off — the profiler is its only consumer.
+        """
+        queue = self._queue
+        pop = heappop
+        refs = getrefcount
+        pooling = self._pooling
+        free_timeouts = self._free_timeouts
+        free_inits = self._free_inits
+        timeout_cls = Timeout
+        init_cls = Initialize
+        n = 0
+        try:
+            while True:
+                try:
+                    self._now, _, event = pop(queue)
+                except IndexError:
+                    raise EmptySchedule("no scheduled events") from None
+                n += 1
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                cls = event.__class__
+                if cls is timeout_cls:
+                    if pooling and refs(event) == 2:
+                        event._value = None
+                        free_timeouts.append(event)
+                elif cls is init_cls:
+                    if pooling and refs(event) == 2:
+                        free_inits.append(event)
+                elif not event._ok and not event._defused:
+                    raise event._value
+        finally:
+            self.events_processed += n
 
     def run_all(self, max_events=None):
         """Run until the agenda is empty, optionally bounding event count.

@@ -106,6 +106,14 @@ class Event:
 
     def trigger(self, event):
         """Trigger this event with the state of another (for chaining)."""
+        if event._value is PENDING:
+            # Without this check an untriggered source (``_ok is None``)
+            # falls through to ``fail(PENDING)`` and surfaces as a
+            # baffling ``TypeError: <object> is not an exception``.
+            raise SimulationError(
+                f"cannot trigger {self!r} from {event!r}, which has not "
+                f"itself been triggered"
+            )
         if event._ok:
             self.succeed(event._value)
         else:
@@ -128,8 +136,11 @@ class Timeout(Event):
     __slots__ = ("delay",)
 
     def __init__(self, env, delay, value=None):
-        if delay < 0:
-            raise ValueError(f"negative delay {delay}")
+        # ``delay != delay`` catches NaN, which would otherwise poison
+        # the agenda heap: NaN compares false against everything, so
+        # sift-up/sift-down stop comparing and ordering silently breaks.
+        if delay < 0 or delay != delay:
+            raise ValueError(f"invalid delay {delay}")
         super().__init__(env)
         self.delay = delay
         self._ok = True
@@ -141,13 +152,18 @@ class Timeout(Event):
 
 
 class Initialize(Event):
-    """Internal event that starts a freshly created process."""
+    """Internal urgent event that runs one callback at the current time.
+
+    Used to start freshly created processes and to kick callback-driven
+    state machines (see :meth:`Environment.kick`).  Instances are pooled
+    by the environment when pooling is enabled.
+    """
 
     __slots__ = ()
 
-    def __init__(self, env, process):
+    def __init__(self, env, callback):
         super().__init__(env)
-        self.callbacks = [process._resume]
+        self.callbacks = [callback]
         self._ok = True
         self._value = None
         env.schedule(self, priority=URGENT)
@@ -190,18 +206,25 @@ class Process(Event):
     (failed, with the exception).
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_send", "_target", "_resume_cb", "name")
 
     def __init__(self, env, generator, name=None):
         if not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")
         super().__init__(env)
         self._generator = generator
+        # Cache the two bound methods the resume hot path needs:
+        # ``generator.send`` is called once per resumption and
+        # ``self._resume`` is parked on every event the process waits
+        # for — creating them fresh each time costs an allocation per
+        # event in the kernel's hottest loop.
+        self._send = generator.send
         #: The event this process is currently waiting on (None while
         #: running or before start).
         self._target = None
+        self._resume_cb = self._resume
         self.name = name or getattr(generator, "__name__", "process")
-        Initialize(env, self)
+        env.kick(self._resume_cb)
 
     @property
     def target(self):
@@ -234,34 +257,29 @@ class Process(Event):
             return
         if self._target is not None and self._target.callbacks is not None:
             try:
-                self._target.callbacks.remove(self._resume)
+                self._target.callbacks.remove(self._resume_cb)
             except ValueError:
                 pass
         self._resume(event)
 
     def _resume(self, event):
         """Advance the generator with the outcome of ``event``."""
-        if not self.is_alive:  # e.g. interrupted before initialisation ran
+        if self._value is not PENDING:  # interrupted before init ran
             return
         env = self.env
         env._active_process = self
+        send = self._send
         while True:
             self._target = None
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = send(event._value)
                 else:
                     event._defused = True
                     next_event = self._generator.throw(
                         type(event._value), event._value, None
                     )
-            except StopIteration as exc:
-                env._active_process = None
-                self._ok = True
-                self._value = exc.value
-                env.schedule(self)
-                return
-            except StopProcess as exc:
+            except (StopIteration, StopProcess) as exc:
                 env._active_process = None
                 self._ok = True
                 self._value = exc.value
@@ -274,7 +292,9 @@ class Process(Event):
                 env.schedule(self)
                 return
 
-            if not isinstance(next_event, Event):
+            try:
+                callbacks = next_event.callbacks
+            except AttributeError:
                 env._active_process = None
                 err = SimulationError(
                     f"process {self.name!r} yielded a non-event: {next_event!r}"
@@ -285,9 +305,9 @@ class Process(Event):
                 env.schedule(self)
                 return
 
-            if next_event.callbacks is not None:
+            if callbacks is not None:
                 # Event pending or triggered-but-unprocessed: park.
-                next_event.callbacks.append(self._resume)
+                callbacks.append(self._resume_cb)
                 self._target = next_event
                 break
             # Already processed: consume its outcome immediately.

@@ -26,7 +26,7 @@ from repro.sim.exceptions import SimulationError
 class Request(Event):
     """A pending or granted claim on a resource slot."""
 
-    __slots__ = ("resource", "proc", "usage_since")
+    __slots__ = ("resource", "proc", "usage_since", "_dequeued")
 
     def __init__(self, resource):
         super().__init__(resource.env)
@@ -35,6 +35,8 @@ class Request(Event):
         self.proc = resource.env.active_process
         #: Time the slot was granted, or None while queued.
         self.usage_since = None
+        #: Lazy-deletion tombstone: True once cancelled while queued.
+        self._dequeued = False
         resource._do_request(self)
 
     def __enter__(self):
@@ -87,7 +89,14 @@ class Resource:
         self._capacity = capacity
         self.users = []
         self.queue = []
+        #: Tombstoned (cancelled-while-queued) entries still in ``queue``.
+        self._dead = 0
         self._seq = count()
+        # Fast-path binding: the kernel profiler is process-global and
+        # captured by the environment at construction, and components are
+        # built after observability is attached (see ``system.build``),
+        # so one load here replaces a per-request attribute chain.
+        self._kp = env.kernel_profiler
 
     @property
     def capacity(self):
@@ -112,27 +121,41 @@ class Resource:
 
     def _do_request(self, request):
         heappush(self.queue, (self._sort_key(request), request))
-        kp = self.env.kernel_profiler
+        kp = self._kp
         if kp is not None:
             kp.count("resource.requests")
-            kp.depth("resource.queue_depth", len(self.queue))
+            kp.depth("resource.queue_depth", len(self.queue) - self._dead)
         self._trigger()
 
     def _do_cancel(self, request):
         if request in self.users:
             self.users.remove(request)
-            kp = self.env.kernel_profiler
+            kp = self._kp
             if kp is not None:
                 kp.count("resource.releases")
             self._trigger()
-        else:
-            self.queue = [(k, r) for (k, r) in self.queue if r is not request]
-            heapify(self.queue)
+        elif not request.triggered and not request._dequeued:
+            # Lazy deletion: mark the entry dead and let `_trigger` (or a
+            # compaction) drop it, instead of the old O(n) rebuild +
+            # heapify on every cancel.  Compact once tombstones are both
+            # numerous (>= 16) and the majority of the heap, which keeps
+            # the amortised cost per cancel O(log n) while bounding the
+            # heap at twice its live size.
+            request._dequeued = True
+            self._dead += 1
+            if self._dead >= 16 and self._dead * 2 >= len(self.queue):
+                self._compact()
+
+    def _compact(self):
+        """Drop tombstoned entries and restore the heap invariant."""
+        self.queue = [(k, r) for (k, r) in self.queue if not r._dequeued]
+        heapify(self.queue)
+        self._dead = 0
 
     def _grant(self, request):
         request.usage_since = self.env.now
         self.users.append(request)
-        kp = self.env.kernel_profiler
+        kp = self._kp
         if kp is not None:
             kp.count("resource.grants")
         request.succeed()
@@ -140,6 +163,9 @@ class Resource:
     def _trigger(self):
         while self.queue and len(self.users) < self._capacity:
             _, request = heappop(self.queue)
+            if request._dequeued:
+                self._dead -= 1
+                continue
             if request.triggered:
                 continue
             self._grant(request)
@@ -181,16 +207,26 @@ class PreemptiveResource(PriorityResource):
 
     def _do_request(self, request):
         if request.preempt and len(self.users) >= self._capacity:
-            # Find the least-urgent user (max priority; latest acquisition
-            # breaks ties so the most recent arrival is evicted first).
+            # Victim selection and the eviction decision use the same
+            # key: the *arrival* ordering ``(priority, request time)``
+            # that also orders the wait queue.  (The old code selected
+            # the victim by grant time ``usage_since`` but decided by
+            # arrival time — two different clocks, so when several
+            # same-priority users were granted at the same instant the
+            # earliest arrival could be evicted instead of the latest.)
+            # The least-urgent user is the max of that key; exact ties
+            # break toward the most recently granted user (highest
+            # position in ``users``, which is grant-ordered).
             victim = max(
-                self.users, key=lambda u: (u.priority, u.usage_since), default=None
-            )
+                enumerate(self.users),
+                key=lambda iu: (iu[1].priority, iu[1].time, iu[0]),
+                default=(None, None),
+            )[1]
             if victim is not None and (victim.priority, victim.time) > (
                 request.priority,
                 request.time,
             ):
-                kp = self.env.kernel_profiler
+                kp = self._kp
                 if kp is not None:
                     kp.count("resource.preemptions")
                 self.users.remove(victim)

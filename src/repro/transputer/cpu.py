@@ -101,6 +101,13 @@ class Cpu:
         self.env = env
         self.config = config
         self.node_id = node_id
+        # Fast-path bindings (observability is attached to the
+        # environment before the system's components are constructed;
+        # see ``system.build``): with telemetry off, the dispatch loop
+        # then skips the observer calls entirely instead of paying a
+        # call + attribute chain per dispatch to find that out.
+        self._tel = env.telemetry
+        self._overhead = config.context_switch_overhead
         self.stats = CpuStats()
         self._high = deque()
         self._low = deque()
@@ -233,16 +240,10 @@ class Cpu:
                 req = self._low.popleft()
                 yield from self._run_low(req)
 
-    def _charge_overhead(self):
-        cost = self.config.context_switch_overhead
-        if cost > 0:
-            yield self.env.timeout(cost)
-            self.stats.overhead_time += cost
-
     # -- telemetry ----------------------------------------------------------
     def _observe_dispatch(self, req):
         """First-dispatch latency (submission to first CPU grant)."""
-        tel = self.env.telemetry
+        tel = self._tel
         if tel is not None:
             tel.metrics.histogram("cpu.dispatch_latency").observe(
                 self.env.now - req.submitted_at
@@ -250,7 +251,7 @@ class Cpu:
 
     def _observe_slice(self, req, start, elapsed, prio):
         """One executed slice as a span on this node's CPU track."""
-        tel = self.env.telemetry
+        tel = self._tel
         if tel is not None:
             node = self.node_id if self.node_id is not None else -1
             tel.slice("cpu.slice", f"node{node}.cpu", start, elapsed,
@@ -267,7 +268,7 @@ class Cpu:
         after losing it with work remaining ("requeue" — quantum expiry,
         preemption, or a gang park).
         """
-        tel = self.env.telemetry
+        tel = self._tel
         if tel is not None:
             wait = self.env.now - req.ready_since
             if wait > 0:
@@ -278,11 +279,15 @@ class Cpu:
 
     def _run_high(self, req):
         env = self.env
-        yield from self._charge_overhead()
+        cost = self._overhead
+        if cost > 0:
+            yield env.timeout(cost)
+            self.stats.overhead_time += cost
         self._running = req
         if req.started_at is None:
             req.started_at = env.now
-            self._observe_dispatch(req)
+            if self._tel is not None:
+                self._observe_dispatch(req)
         req.slices += 1
         self.stats.dispatches += 1
         burst = req.remaining
@@ -294,17 +299,23 @@ class Cpu:
         self.stats.high_time += burst
         self.stats.completed += 1
         self._running = None
-        self._observe_slice(req, start, burst, "high")
+        if self._tel is not None:
+            self._observe_slice(req, start, burst, "high")
         req.succeed(req)
 
     def _run_low(self, req):
         env = self.env
-        yield from self._charge_overhead()
+        cost = self._overhead
+        if cost > 0:
+            yield env.timeout(cost)
+            self.stats.overhead_time += cost
         self._running = req
-        self._observe_wait(req)
+        if self._tel is not None:
+            self._observe_wait(req)
         if req.started_at is None:
             req.started_at = env.now
-            self._observe_dispatch(req)
+            if self._tel is not None:
+                self._observe_dispatch(req)
         req.slices += 1
         self.stats.dispatches += 1
 
@@ -336,10 +347,10 @@ class Cpu:
         req.cpu_time += elapsed
         self.stats.busy_time += elapsed
         self.stats.low_time += elapsed
-        if elapsed > 0:
+        if elapsed > 0 and self._tel is not None:
             self._observe_slice(req, start, elapsed, "low")
         if preempted:
-            tel = env.telemetry
+            tel = self._tel
             if tel is not None:
                 node = self.node_id if self.node_id is not None else -1
                 tel.metrics.counter("cpu.preemptions").inc()

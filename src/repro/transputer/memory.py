@@ -83,6 +83,9 @@ class Mmu:
         self.env = env
         self.capacity = int(capacity_bytes)
         self.node_id = node_id
+        # Fast-path binding (observability is attached before the
+        # system's components are constructed; see ``system.build``).
+        self._tel = env.telemetry
         #: Which memory region this allocator manages ("job"/"mailbox"),
         #: used to name its telemetry instruments.
         self.region = region
@@ -138,14 +141,14 @@ class Mmu:
         self._drain()
 
     def _observe_level(self):
-        tel = self.env.telemetry
+        tel = self._tel
         if tel is not None:
             tel.metrics.gauge(
                 f"mem.{self.region}.node{self.node_id}.in_use"
             ).set(self._in_use)
 
     def _drain(self):
-        tel = self.env.telemetry
+        tel = self._tel
         while self._waiters:
             req, t0 = self._waiters[0]
             if req.nbytes > self.available:
@@ -221,6 +224,8 @@ class BufferPool:
             raise ValueError("buffers_per_class must be >= 1")
         self.env = env
         self.node_id = node_id
+        # Fast-path binding (see ``Mmu``): one load at construction.
+        self._tel = env.telemetry
         self.num_classes = num_classes
         self.buffer_bytes = buffer_bytes
         self._free = [buffers_per_class] * num_classes
@@ -279,7 +284,7 @@ class BufferPool:
                 self.stats.grants += 1
                 wait = self.env.now - t0
                 self.stats.total_wait_time += wait
-                tel = self.env.telemetry
+                tel = self._tel
                 if tel is not None:
                     tel.metrics.histogram("buf.wait").observe(wait)
                     if wait > 0:

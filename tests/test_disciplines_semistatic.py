@@ -105,6 +105,34 @@ def test_semi_static_max_partition_cap():
         SemiStaticSpaceSharing(max_partition=0)
 
 
+def test_semi_static_sizing_on_non_power_of_two_machine():
+    """Regression: on a 24-node machine a one-job batch used to size the
+    partition at 16 (the leading power of two of 24), which does not
+    divide the machine and fails partition validation.  The rule must
+    pick the largest power-of-two *divisor*: 8."""
+    policy = SemiStaticSpaceSharing()
+    assert policy.partition_size_for_batch(1, 24) == 8
+    assert policy.partition_size_for_batch(2, 24) == 8   # 24//2=12 -> 8
+    assert policy.partition_size_for_batch(3, 24) == 8
+    assert policy.partition_size_for_batch(6, 24) == 4
+    assert policy.partition_size_for_batch(24, 24) == 1
+    # Every result must divide the machine.
+    for batch in range(1, 30):
+        p = policy.partition_size_for_batch(batch, 24)
+        assert 24 % p == 0 and p & (p - 1) == 0
+
+
+def test_semi_static_cap_re_rounds_to_a_divisor():
+    # Cap applies before rounding: min(24, 6) = 6 -> leading pow2 4,
+    # which divides 24.
+    policy = SemiStaticSpaceSharing(max_partition=6)
+    assert policy.partition_size_for_batch(1, 24) == 4
+    # On a power-of-two machine the cap value itself survives when it
+    # is a power of two.
+    policy = SemiStaticSpaceSharing(max_partition=8)
+    assert policy.partition_size_for_batch(1, 16) == 8
+
+
 def test_run_batches_reconfigures_per_batch():
     policy = SemiStaticSpaceSharing()
     system = make_system(policy, num_nodes=4)

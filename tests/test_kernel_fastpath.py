@@ -1,0 +1,261 @@
+"""Regression coverage for the kernel fast path.
+
+The hot-path speed pass (packed agenda keys, pooled Timeout/Initialize
+events, lazy resource tombstones, callback-based packet walkers) must be
+*observably free*: every test here pins behaviour that the optimisations
+could plausibly have changed — agenda ordering, event-object lifecycle,
+eviction choices — and the equivalence tests assert that a full model
+run serialises byte-identically with pooling on and off.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.sim import (
+    Environment,
+    Event,
+    Interrupt,
+    PreemptiveResource,
+    SimulationError,
+    Timeout,
+    set_event_pooling,
+)
+
+
+@pytest.fixture
+def pooling_restored():
+    """Restore the process-global pooling flag after the test."""
+    previous = set_event_pooling(True)
+    yield
+    set_event_pooling(previous)
+
+
+# -- agenda ordering under the packed key --------------------------------
+def test_same_time_same_priority_events_fire_in_schedule_order():
+    """FIFO among equals: the packed (priority << 56) | seq key must
+    preserve schedule order for same-time, same-priority events exactly
+    as the old (time, priority, seq) tuple did."""
+    env = Environment()
+    fired = []
+    for i in range(50):
+        env.timeout(1.0).callbacks.append(
+            lambda e, i=i: fired.append(i))
+    env.run_all()
+    assert fired == list(range(50))
+
+
+def test_urgent_beats_normal_at_the_same_time_regardless_of_seq():
+    from repro.sim.events import NORMAL, URGENT
+
+    env = Environment()
+    fired = []
+    normal = env.event()
+    normal._ok, normal._value = True, None
+    normal.callbacks.append(lambda e: fired.append("normal"))
+    urgent = env.event()
+    urgent._ok, urgent._value = True, None
+    urgent.callbacks.append(lambda e: fired.append("urgent"))
+    # NORMAL scheduled first (lower seq) must still lose to URGENT.
+    env.schedule(normal, priority=NORMAL, delay=2.0)
+    env.schedule(urgent, priority=URGENT, delay=2.0)
+    env.run_all()
+    assert fired == ["urgent", "normal"]
+
+
+def test_mixed_delays_and_priorities_interleave_deterministically():
+    env = Environment()
+    fired = []
+    for i, delay in enumerate([3.0, 1.0, 2.0, 1.0, 3.0, 2.0]):
+        env.timeout(delay).callbacks.append(
+            lambda e, i=i: fired.append(i))
+    env.run_all()
+    # Sorted by time, then schedule order within each time.
+    assert fired == [1, 3, 2, 5, 0, 4]
+
+
+# -- pooled event lifecycle ----------------------------------------------
+def test_timeouts_are_recycled_and_reused(pooling_restored):
+    env = Environment()
+
+    def ticker(env):
+        for _ in range(20):
+            yield env.timeout(1.0)
+
+    env.process(ticker(env))
+    env.run_all()
+    assert env._free_timeouts, "drained timeouts should land in the pool"
+    recycled = env._free_timeouts[-1]
+    again = env.timeout(5.0)
+    assert again is recycled  # reuse, not reallocation
+    assert again.delay == 5.0
+    # Like any fresh Timeout it is triggered (value set, scheduled) but
+    # not yet processed, with a clean callback list.
+    assert again.callbacks == [] and not again.processed
+
+
+def test_referenced_timeouts_are_not_recycled(pooling_restored):
+    """A Timeout the model still holds must never be reset under it."""
+    env = Environment()
+    held = env.timeout(1.0)
+    env.run_all()
+    assert held not in env._free_timeouts
+    assert held.ok and held.processed
+
+
+def test_pooling_disabled_allocates_fresh_events(pooling_restored):
+    set_event_pooling(False)
+    env = Environment()
+
+    def ticker(env):
+        for _ in range(10):
+            yield env.timeout(1.0)
+
+    env.process(ticker(env))
+    env.run_all()
+    assert env._free_timeouts == []
+    assert env._free_inits == []
+
+
+def test_pooled_timeout_still_validates_delay(pooling_restored):
+    env = Environment()
+
+    def ticker(env):
+        yield env.timeout(1.0)
+
+    env.process(ticker(env))
+    env.run_all()
+    assert env._free_timeouts  # the pooled path is the one under test
+    with pytest.raises(ValueError, match="invalid delay"):
+        env.timeout(-1.0)
+    with pytest.raises(ValueError, match="invalid delay"):
+        env.timeout(float("nan"))
+
+
+# -- satellite bugfixes ---------------------------------------------------
+def test_timeout_rejects_nan_delay():
+    """NaN used to sail through the `delay < 0` check and poison the
+    agenda heap (every comparison with NaN is False, so heap order
+    silently broke)."""
+    env = Environment()
+    with pytest.raises(ValueError, match="invalid delay"):
+        Timeout(env, float("nan"))
+
+
+def test_trigger_from_untriggered_source_raises():
+    """Event.trigger used to copy PENDING out of an untriggered source,
+    corrupting the target (triggered-but-pending)."""
+    env = Environment()
+    src, dst = env.event(), env.event()
+    with pytest.raises(SimulationError, match="not itself been triggered"):
+        dst.trigger(src)
+    assert not dst.triggered  # target untouched by the failed call
+
+
+def test_preemption_victim_is_latest_arrival_on_grant_time_tie():
+    """Two same-priority users granted at the same instant: the victim
+    must be the *later arrival*.  The old code selected the victim by
+    grant time (usage_since) but took the eviction decision by arrival
+    time — two different clocks — so on a grant-time tie `max` returned
+    the earliest arrival instead."""
+    env = Environment()
+    res = PreemptiveResource(env, capacity=2)
+    log = []
+
+    def blocker(env):
+        # Holds both slots until t=5, so A and B queue up and are then
+        # granted at the same instant (equal usage_since).
+        reqs = [res.request(priority=0, preempt=False) for _ in range(2)]
+        for r in reqs:
+            yield r
+        yield env.timeout(5)
+        for r in reqs:
+            res.release(r)
+
+    def user(env, name, delay):
+        yield env.timeout(delay)
+        with res.request(priority=5, preempt=False) as req:
+            try:
+                yield req
+                log.append((name, "got", env.now))
+                yield env.timeout(100)
+            except Interrupt:
+                log.append((name, "evicted", env.now))
+
+    def preemptor(env):
+        yield env.timeout(7)
+        with res.request(priority=0) as req:
+            yield req
+            log.append(("urgent", "got", env.now))
+
+    env.process(blocker(env))
+    env.process(user(env, "early", 0.0))   # arrives t=0
+    env.process(user(env, "late", 3.0))    # arrives t=3
+    env.process(preemptor(env))
+    env.run_all(max_events=10_000)
+    assert ("early", "got", 5) in log and ("late", "got", 5) in log
+    assert ("late", "evicted", 7) in log     # later arrival loses
+    assert ("urgent", "got", 7) in log
+    assert not any(e == ("early", "evicted", 7) for e in log)
+
+
+# -- resource tombstones --------------------------------------------------
+def test_mass_cancellation_compacts_the_queue():
+    from repro.sim import Resource
+
+    env = Environment()
+    res = Resource(env, capacity=1)
+    hold = res.request()  # takes the slot
+    waiters = [res.request() for _ in range(64)]
+    for r in waiters[:48]:
+        r.cancel()
+    # Tombstones were compacted away once they became the majority.
+    assert res._dead < 48
+    assert len(res.queue) <= 64
+    res.release(hold)
+    env.run_all()
+    granted = [r for r in waiters if r.triggered]
+    assert len(granted) == 1 and granted[0] is waiters[48]
+
+
+# -- pooling on/off equivalence (whole-model) ----------------------------
+def _figure_cell_doc():
+    from repro.experiments import ExperimentScale, run_cell
+
+    scale = ExperimentScale(
+        "tiny", num_small=2, num_large=1,
+        matmul_small=16, matmul_large=32,
+        sort_small=256, sort_large=512,
+        partition_sizes=(1, 4), topologies=("linear",),
+    )
+    cell = run_cell(3, "matmul", "fixed", 4, "linear", "timesharing", scale)
+    return json.dumps(dataclasses.asdict(cell), sort_keys=True)
+
+
+def _steady_smoke_doc():
+    from repro.experiments.steady import steady_cell
+
+    result = steady_cell("static", rate=4.0, duration=30.0, nodes=4, seed=3)
+    doc = {
+        "arrived": result.jobs_arrived,
+        "completed": result.jobs_completed,
+        "mean": result.mean_response_time,
+        "steady": result.steady,
+        "summary": result.summary,
+    }
+    return json.dumps(doc, sort_keys=True, default=repr)
+
+
+@pytest.mark.parametrize("doc_fn", [_figure_cell_doc, _steady_smoke_doc],
+                         ids=["figure3-cell", "steady-smoke"])
+def test_pooling_on_off_documents_are_byte_identical(doc_fn,
+                                                     pooling_restored):
+    """Event pooling is a pure allocation strategy: a closed figure-3
+    cell and an open steady-state run must serialise byte-for-byte the
+    same with pooling on and off."""
+    set_event_pooling(True)
+    with_pooling = doc_fn()
+    set_event_pooling(False)
+    without_pooling = doc_fn()
+    assert with_pooling == without_pooling
