@@ -6,9 +6,12 @@ regressions in the substrate are visible independently of the
 experiment harness.
 """
 
+from repro.comm import Network
 from repro.core import MulticomputerSystem, SystemConfig, TimeSharing
 from repro.obs.kernelprof import kernel_profile, validate_kernelprof
-from repro.sim import Environment
+from repro.sim import Environment, FilterStore
+from repro.topology import make_topology
+from repro.transputer import TransputerConfig, TransputerNode
 from repro.workload import standard_batch
 
 
@@ -37,13 +40,111 @@ def test_kernel_event_throughput(benchmark):
     doc = benchmark(run)
     assert doc["events"] >= 20_000
     assert doc["events_per_sec"] > 0
-    assert doc["agenda"]["pushes"] >= doc["events"]
+    assert (doc["agenda"]["pushes"] + doc["agenda"]["handoffs"]
+            >= doc["events"])
     # One ticker process: at any instant the agenda holds its pending
     # timeout (and briefly the resumed process event) — tiny but bounded.
     assert 1 <= doc["agenda"]["max_depth"] <= 4
     print(f"\nkernel: {doc['events_per_sec']:,.0f} events/s, "
           f"agenda depth max {doc['agenda']['max_depth']}, "
           f"{doc['agenda']['pushes']} pushes")
+
+
+def test_store_churn(benchmark):
+    """Keyed FilterStore under churn: the model-layer matching hot path.
+
+    Producers and consumers churn through hot tags *past a standing
+    backlog* of messages whose tags nobody is currently receiving —
+    the mailbox pathology the issue profile showed: every legacy
+    ``get`` rescans the whole backlog before finding its match, so the
+    scan cost is O(backlog) per receive where the per-key index pays
+    O(1).  The backlog is drained at the end so the run still
+    terminates with an empty store (GUIDE §16).
+    """
+    TAGS = 16
+    ROUNDS = 1_500
+    BACKLOG = 512
+
+    def run():
+        with kernel_profile() as kp:
+            env = Environment()
+            store = FilterStore(env, key=lambda item: item[0])
+            # Standing backlog under tags no consumer asks for until
+            # the drain phase: replies parked in a mailbox while the
+            # receiver works through other traffic.
+            for i in range(BACKLOG):
+                store.put((("cold", i % TAGS), i))
+
+            def producer(env, tag):
+                for i in range(ROUNDS):
+                    yield store.put((tag, i))
+                    yield env.timeout(1)
+
+            def consumer(env, tag):
+                for _ in range(ROUNDS):
+                    yield store.get(key=tag)
+
+            def drainer(env):
+                yield env.timeout(ROUNDS + 1)
+                for i in range(BACKLOG):
+                    yield store.get(key=("cold", i % TAGS))
+
+            for tag in range(TAGS):
+                env.process(producer(env, tag))
+                # Consumers wait on a different tag's producer cadence,
+                # so gets routinely outpace their puts and park.
+                env.process(consumer(env, (tag * 7 + 3) % TAGS))
+            env.process(drainer(env))
+            env.run()
+        assert len(store) == 0
+        return validate_kernelprof(kp.document())
+
+    doc = benchmark(run)
+    assert doc["events"] >= 2 * TAGS * ROUNDS
+    print(f"\nstore_churn: {doc['events_per_sec']:,.0f} events/s, "
+          f"{doc['agenda']['handoffs']} handoffs")
+
+
+def test_mailbox_pingpong(benchmark):
+    """Mailbox round-trips over the network: tag matching + transport.
+
+    Pairs of nodes bounce a message back and forth through the full
+    store-and-forward stack (send software, link crossings, mailbox
+    memory, tagged receive).  Exercises the keyed mailbox index and the
+    flattened message/packet walkers together.
+    """
+    PAIRS = 4
+    ROUNDS = 400
+
+    def run():
+        with kernel_profile() as kp:
+            env = Environment()
+            cfg = TransputerConfig(context_switch_overhead=0.0)
+            n = 2 * PAIRS
+            nodes = {i: TransputerNode(env, i, cfg) for i in range(n)}
+            net = Network(env, nodes, make_topology("ring", range(n)), cfg)
+
+            def pinger(env, me, peer):
+                for i in range(ROUNDS):
+                    net.send(me, peer, 256, tag="ping", payload=i)
+                    yield net.recv(me, tag="pong")
+
+            def ponger(env, me, peer):
+                for _ in range(ROUNDS):
+                    yield net.recv(me, tag="ping")
+                    net.send(me, peer, 256, tag="pong")
+
+            for p in range(PAIRS):
+                a, b = 2 * p, 2 * p + 1
+                env.process(pinger(env, a, b))
+                env.process(ponger(env, b, a))
+            env.run()
+        return validate_kernelprof(kp.document())
+
+    doc = benchmark(run)
+    assert doc["counters"]["comm.messages"] == 2 * PAIRS * ROUNDS
+    print(f"\nmailbox_pingpong: {doc['events_per_sec']:,.0f} events/s, "
+          f"{doc['agenda']['handoffs']} handoffs")
 
 
 def test_system_build_cost(benchmark):

@@ -21,14 +21,17 @@ class Mailbox:
     def __init__(self, env, node):
         self.env = env
         self.node = node
-        self._store = FilterStore(env)
+        # Keyed store: tag receives — the overwhelmingly common case —
+        # are served from per-tag deques in O(1) instead of a
+        # predicate scan over every pending message and waiter.
+        self._store = FilterStore(env, key=lambda m: m.tag)
         #: Live mailbox-memory allocations keyed by message id.
         self._allocations = {}
         self.delivered = 0
         self.received = 0
 
     def __len__(self):
-        return len(self._store.items)
+        return len(self._store)
 
     def deliver(self, message, allocation=None):
         """Called by the network when a message finishes reassembly."""
@@ -51,8 +54,10 @@ class Mailbox:
         if match is not None and tag is not None:
             raise ValueError("pass either match or tag, not both")
         if tag is not None:
-            match = lambda m, _t=tag: m.tag == _t  # noqa: E731
-        get = self._store.get(match)
+            # Keyed fast path: served from the store's per-tag index.
+            get = self._store.get(key=tag)
+        else:
+            get = self._store.get(match)
         get.callbacks.append(self._on_recv)
         return get
 

@@ -141,9 +141,7 @@ class Network:
         self._check_member(dst)
         message = Message(src, dst, nbytes, tag=tag, payload=payload,
                           src_proc=src_proc, dst_proc=dst_proc)
-        return self.env.process(
-            self._transport(message), name=f"msg{message.msg_id}"
-        )
+        return _MessageWalker(self, message).done
 
     def recv(self, node_id, match=None, tag=None):
         """Receive a message at ``node_id`` (see :meth:`Mailbox.recv`)."""
@@ -166,62 +164,6 @@ class Network:
                 f"(members: {list(self.nodes)})"
             )
 
-    def _transport(self, message):
-        env = self.env
-        cfg = self.config
-        src_node = self.nodes[message.src]
-        dst_node = self.nodes[message.dst]
-        message.sent_at = env.now
-        self.stats.messages_sent += 1
-        self.stats.bytes_sent += message.nbytes
-        kp = self._kp
-        if kp is not None:
-            kp.count("comm.messages")
-
-        # Sender-side software: packetisation and the copy of the payload
-        # out of job memory into message buffers.
-        yield src_node.cpu.execute(
-            cfg.message_overhead + cfg.copy_time(message.nbytes),
-            HIGH, tag="comm",
-        )
-
-        if message.src == message.dst:
-            # Self-message: no links, but the same software path and the
-            # same mailbox memory demand (see paper, Section 5.2).
-            message.hops = 0
-            self.stats.self_messages += 1
-            alloc = yield dst_node.mailbox_memory.alloc(
-                max(message.nbytes, 1), owner=message.job_id
-            )
-            yield dst_node.cpu.execute(
-                cfg.hop_cpu_cost(message.nbytes), HIGH, tag="comm"
-            )
-            self._deliver(message, alloc)
-            return message
-
-        path = self.router.path(message.src, message.dst)
-        message.hops = len(path) - 1
-        if kp is not None:
-            kp.depth("comm.path_hops", message.hops)
-
-        # Reserve the whole message's reassembly space at the destination
-        # *before* any packet leaves.  Allocating per packet instead
-        # invites classic reassembly deadlock: fragments of several
-        # messages fill the mailbox region and none can complete.  The
-        # message-level reservation doubles as the mailbox protocol's
-        # flow control — a sender stalls while the destination is full,
-        # which is the paper's "a message can suffer a delay if [a]
-        # processor delays allocation of memory for the mailbox".
-        alloc = yield dst_node.mailbox_memory.alloc(
-            max(message.nbytes, 1), owner=message.job_id
-        )
-
-        packets = fragment(message, cfg.packet_bytes)
-        done = [_PacketWalker(self, pkt, path).done for pkt in packets]
-        yield env.all_of(done)
-        self._deliver(message, alloc)
-        return message
-
     def _deliver(self, message, allocation):
         self.stats.messages_delivered += 1
         self.nodes[message.dst].mailbox.deliver(message, allocation)
@@ -238,6 +180,130 @@ class Network:
                       src=message.src, dst=message.dst,
                       src_proc=message.src_proc, dst_proc=message.dst_proc,
                       job=message.job_id, nbytes=message.nbytes)
+
+
+class _MessageWalker:
+    """Drive one message's transport as a callback state machine.
+
+    The successor of the old per-message ``_transport`` generator
+    process, in the same style as :class:`_PacketWalker`: each
+    continuation mirrors one of the generator's ``yield`` points
+    exactly — same events created at the same execution points — so the
+    simulated trajectory is byte-identical, but a message costs no
+    :class:`~repro.sim.events.Process` bookkeeping and no generator
+    suspensions.  ``done`` stands in for the old transport Process's
+    completion event: it triggers with the message after delivery (via
+    the environment's direct handoff when ordering permits) or fails
+    with the first awaited event's failure.
+    """
+
+    __slots__ = ("network", "message", "alloc", "path", "done")
+
+    def __init__(self, network, message):
+        self.network = network
+        self.message = message
+        self.alloc = None
+        self.path = None
+        self.done = network.env.event()
+        network.env.kick(self._start)
+
+    def _start(self, _event):
+        network = self.network
+        message = self.message
+        cfg = network.config
+        message.sent_at = network.env.now
+        network.stats.messages_sent += 1
+        network.stats.bytes_sent += message.nbytes
+        kp = network._kp
+        if kp is not None:
+            kp.count("comm.messages")
+        # Sender-side software: packetisation and the copy of the
+        # payload out of job memory into message buffers.
+        work = network.nodes[message.src].cpu.execute(
+            cfg.message_overhead + cfg.copy_time(message.nbytes),
+            HIGH, tag="comm",
+        )
+        work.callbacks.append(self._on_send_sw)
+
+    def _on_send_sw(self, event):
+        if not event._ok:
+            event._defused = True
+            self.done.fail(event._value)
+            return
+        network = self.network
+        message = self.message
+        dst_node = network.nodes[message.dst]
+        if message.src == message.dst:
+            # Self-message: no links, but the same software path and the
+            # same mailbox memory demand (see paper, Section 5.2).
+            message.hops = 0
+            network.stats.self_messages += 1
+            request = dst_node.mailbox_memory.alloc(
+                max(message.nbytes, 1), owner=message.job_id
+            )
+            request.callbacks.append(self._on_self_alloc)
+            return
+        path = self.path = network.router.path(message.src, message.dst)
+        message.hops = len(path) - 1
+        kp = network._kp
+        if kp is not None:
+            kp.depth("comm.path_hops", message.hops)
+        # Reserve the whole message's reassembly space at the
+        # destination *before* any packet leaves.  Allocating per packet
+        # instead invites classic reassembly deadlock: fragments of
+        # several messages fill the mailbox region and none can
+        # complete.  The message-level reservation doubles as the
+        # mailbox protocol's flow control — a sender stalls while the
+        # destination is full, which is the paper's "a message can
+        # suffer a delay if [a] processor delays allocation of memory
+        # for the mailbox".
+        request = dst_node.mailbox_memory.alloc(
+            max(message.nbytes, 1), owner=message.job_id
+        )
+        request.callbacks.append(self._on_alloc)
+
+    def _on_self_alloc(self, event):
+        if not event._ok:
+            event._defused = True
+            self.done.fail(event._value)
+            return
+        self.alloc = event._value
+        network = self.network
+        message = self.message
+        work = network.nodes[message.dst].cpu.execute(
+            network.config.hop_cpu_cost(message.nbytes), HIGH, tag="comm"
+        )
+        work.callbacks.append(self._on_self_cpu)
+
+    def _on_self_cpu(self, event):
+        if not event._ok:
+            event._defused = True
+            self.done.fail(event._value)
+            return
+        self.network._deliver(self.message, self.alloc)
+        self.network.env.handoff(self.done, self.message)
+
+    def _on_alloc(self, event):
+        if not event._ok:
+            event._defused = True
+            self.done.fail(event._value)
+            return
+        self.alloc = event._value
+        network = self.network
+        message = self.message
+        packets = fragment(message, network.config.packet_bytes)
+        done = [_PacketWalker(network, pkt, self.path).done
+                for pkt in packets]
+        gather = network.env.all_of(done)
+        gather.callbacks.append(self._on_packets)
+
+    def _on_packets(self, event):
+        if not event._ok:
+            event._defused = True
+            self.done.fail(event._value)
+            return
+        self.network._deliver(self.message, self.alloc)
+        self.network.env.handoff(self.done, self.message)
 
 
 class _PacketWalker:

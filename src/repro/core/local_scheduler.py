@@ -57,16 +57,16 @@ class LocalScheduler:
             tel.metrics.gauge(
                 f"cpu.backlog.node{self.node_id}"
             ).set(self.node.cpu.queue_length)
-        req.callbacks.append(self._account(job))
+        req.callbacks.append(self._account)
         return req
 
-    def _account(self, job):
-        def record(event):
-            req = event.value
-            self.job_cpu_time[job.job_id] += req.cpu_time
-            self.job_dispatches[job.job_id] += 1
-            self.total_cpu_time += req.cpu_time
-        return record
+    def _account(self, event):
+        # One bound method shared by every burst: the request carries the
+        # job id as its ``tag``, so no per-dispatch closure is needed.
+        req = event._value
+        self.job_cpu_time[req.tag] += req.cpu_time
+        self.job_dispatches[req.tag] += 1
+        self.total_cpu_time += req.cpu_time
 
     def forget_job(self, job_id):
         """Drop a finished job's per-job accounting entries.

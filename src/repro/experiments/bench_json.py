@@ -211,6 +211,9 @@ def _merge_kernel_profiles(profiles):
         "events": events,
         "events_per_sec": events / kernel_s if kernel_s > 0 else 0.0,
         "pushes": sum(p["pushes"] for p in profiles),
+        # Absent from pre-handoff summaries, where pushes covered every
+        # processed event on its own.
+        "handoffs": sum(p.get("handoffs", 0) for p in profiles),
         "max_agenda_depth": max(p["max_agenda_depth"] for p in profiles),
         "event_types": dict(sorted(types.items(),
                                    key=lambda kv: -kv[1]["s"])),

@@ -180,7 +180,7 @@ class KernelProfiler:
         #: :attr:`pushes`) — a drained environment is a few hundred
         #: bytes, so even a many-hundred-cell sweep retains next to
         #: nothing.
-        self._envs = []              # [env, events_processed baseline]
+        self._envs = []    # [env, events_processed baseline, handoffs baseline]
         self._pending_baseline = 0   # events already queued at attach()
         # -- hot-path state (touched from Environment._run_profiled) --
         self._countdown = 1         # events until the next sample;
@@ -203,6 +203,7 @@ class KernelProfiler:
         # -- cold state -------------------------------------------------
         self._final_pops = None     # totals frozen by stop()
         self._final_pushes = None
+        self._final_handoffs = None
         self._counters = {}
         self._queue_hists = {}
         self.timeline = []
@@ -245,7 +246,8 @@ class KernelProfiler:
         _environment.set_kernel_profiler(self._prev)
         self._final_pops = self.pops
         self._final_pushes = self.pushes
-        for env, _base in self._envs:
+        self._final_handoffs = self.handoffs
+        for env, _base, _hbase in self._envs:
             if env.kernel_profiler is self:
                 env.kernel_profiler = None
         if self.timeline_every and self.pops > self._mark_events:
@@ -266,7 +268,7 @@ class KernelProfiler:
         return env
 
     def _register(self, env):
-        self._envs.append((env, env.events_processed))
+        self._envs.append((env, env.events_processed, env.handoffs))
 
     @property
     def environments(self):
@@ -283,23 +285,38 @@ class KernelProfiler:
         """
         if self._final_pops is not None:
             return self._final_pops
-        return sum(env.events_processed - base for env, base in self._envs)
+        return sum(env.events_processed - base
+                   for env, base, _hbase in self._envs)
+
+    @property
+    def handoffs(self):
+        """Exact events dispatched by direct handoff (never enqueued).
+
+        Read from each environment's ``handoffs`` counter, like
+        :attr:`pops`.  A handed-off event counts in ``events_processed``
+        but never touches the agenda heap, so these are subtracted from
+        the push/pop accounting below.
+        """
+        if self._final_handoffs is not None:
+            return self._final_handoffs
+        return sum(env.handoffs - hbase for env, _base, hbase in self._envs)
 
     @property
     def pushes(self):
         """Agenda pushes, by accounting rather than a per-push hook.
 
         Every event pushed onto an agenda is either popped by the loop
-        or still queued, so ``pushes = pops + still-queued`` (minus the
-        events already queued when an environment was attached
-        mid-run).  Counting this way keeps :meth:`Environment.schedule`
-        completely unhooked — the scheduling fast path costs the same
-        profiled or not.
+        or still queued, so ``pushes = heap pops + still-queued`` (minus
+        the events already queued when an environment was attached
+        mid-run), where heap pops are the processed events that were not
+        dispatched by direct handoff.  Counting this way keeps
+        :meth:`Environment.schedule` completely unhooked — the
+        scheduling fast path costs the same profiled or not.
         """
         if self._final_pushes is not None:
             return self._final_pushes
-        pending = sum(len(env._queue) for env, _base in self._envs)
-        return self.pops + pending - self._pending_baseline
+        pending = sum(len(env._queue) for env, _base, _hbase in self._envs)
+        return self.pops - self.handoffs + pending - self._pending_baseline
 
     # -- hot-path recording (called from the event loop) -----------------
     # The per-event bookkeeping itself lives inline in
@@ -463,7 +480,8 @@ class KernelProfiler:
             "callback_sites": callback_sites,
             "agenda": {
                 "pushes": self.pushes,
-                "pops": events,
+                "pops": events - self.handoffs,
+                "handoffs": self.handoffs,
                 "max_depth": self.max_depth,
                 "p50_depth": hist.quantile(0.5),
                 "p99_depth": hist.quantile(0.99),
@@ -492,6 +510,7 @@ class KernelProfiler:
             "events": doc["events"],
             "events_per_sec": doc["events_per_sec"],
             "pushes": doc["agenda"]["pushes"],
+            "handoffs": doc["agenda"]["handoffs"],
             "max_agenda_depth": doc["agenda"]["max_depth"],
             "p99_agenda_depth": doc["agenda"]["p99_depth"],
             "event_types": {
@@ -589,9 +608,14 @@ def validate_kernelprof(doc):
             f"event-type breakdown sums to {type_s:.6f}s but measured "
             f"kernel time is {kernel_s:.6f}s (must cover >= 90%)"
         )
-    if agenda["pops"] != events:
+    # Handed-off events are processed without touching the heap, so
+    # heap pops + handoffs must equal the processed-event total.  The
+    # ``handoffs`` key is absent from pre-handoff documents, where
+    # pops == events held directly.
+    if agenda["pops"] + agenda.get("handoffs", 0) != events:
         raise ValueError(
-            f"agenda pops ({agenda['pops']}) disagree with processed "
+            f"agenda pops ({agenda['pops']}) plus handoffs "
+            f"({agenda.get('handoffs', 0)}) disagree with processed "
             f"events ({events})"
         )
     return doc
@@ -660,6 +684,7 @@ def format_kernelprof(doc, top=12):
     agenda = doc["agenda"]
     lines.append(
         f"agenda: {agenda['pushes']} pushes, {agenda['pops']} pops, "
+        f"{agenda.get('handoffs', 0)} handoffs, "
         f"depth max {agenda['max_depth']} "
         f"p50 {agenda['p50_depth']:g} p99 {agenda['p99_depth']:g}"
     )

@@ -9,6 +9,7 @@ from time import perf_counter_ns
 
 from repro.sim.events import (
     NORMAL,
+    PENDING,
     URGENT,
     AllOf,
     AnyOf,
@@ -43,6 +44,15 @@ _POOLING = True
 _PRIORITY_SHIFT = 56
 _SEQ_MASK = (1 << _PRIORITY_SHIFT) - 1
 _NORMAL_BASE = NORMAL << _PRIORITY_SHIFT
+
+#: Maximum nesting depth of direct handoffs (see
+#: :meth:`Environment.handoff`).  Each handoff dispatches its waiters on
+#: the Python call stack instead of through the agenda; long completion
+#: chains (a CPU slice resuming a process that completes another slice,
+#: …) therefore consume stack frames.  Past this depth handoff falls
+#: back to ordinary scheduling, bounding stack growth without changing
+#: behaviour.
+_HANDOFF_LIMIT = 64
 
 
 def set_kernel_profiler(profiler):
@@ -93,6 +103,13 @@ class _StopSimulation(Exception):
         raise cls(event)
 
 
+#: The one stop-callback object :meth:`Environment.run` parks on its
+#: ``until`` event.  A single shared bound method (rather than a fresh
+#: one per ``run`` call) lets :meth:`Environment.handoff` refuse to
+#: dispatch a stop synchronously with an identity-fast membership test.
+_STOP_CB = _StopSimulation.callback
+
+
 class Environment:
     """Execution environment for a discrete-event simulation.
 
@@ -120,8 +137,21 @@ class Environment:
         self._seq = count()
         self._active_process = None
         #: Number of events processed so far (useful for budget guards
-        #: and performance reporting).
+        #: and performance reporting).  Includes direct handoffs — a
+        #: handed-off event's callbacks ran, so it was processed; see
+        #: :attr:`handoffs` for how many skipped the agenda.
         self.events_processed = 0
+        #: Events completed via :meth:`handoff` (no agenda round-trip).
+        #: The kernel profiler derives exact heap pops as
+        #: ``events_processed - handoffs``.
+        self.handoffs = 0
+        #: True while the callback currently being dispatched is the
+        #: *last* (or only) callback of its event — the only position
+        #: from which :meth:`handoff` may dispatch synchronously without
+        #: reordering the event's remaining callbacks.  Maintained by
+        #: every dispatch loop.
+        self._tail_ok = True
+        self._handoff_depth = 0
         #: Optional :class:`repro.obs.Telemetry` sink for this run.
         #: ``None`` means telemetry is off; instrumentation sites guard
         #: on it, so recording costs nothing when disabled.
@@ -225,6 +255,72 @@ class Environment:
                  (self._now + delay,
                   (priority << _PRIORITY_SHIFT) | next(self._seq), event))
 
+    def handoff(self, event, value=None):
+        """Succeed ``event``; run its callbacks now if ordering permits.
+
+        The direct-handoff fast path: when a completion is the last
+        thing the currently dispatched callback does (*tail position*)
+        and nothing else on the agenda is due at the current time,
+        scheduling the event and popping it as the very next step is
+        observably identical to dispatching its callbacks right here —
+        same callback order, same clock — but costs a heap push, a heap
+        pop and a loop iteration.  This method takes the shortcut when
+        every guard holds and falls back to ordinary scheduling
+        otherwise, so callers never depend on it for correctness.
+
+        Guards (all conservative):
+
+        - the caller must be in tail position, i.e. the loop's
+          :attr:`_tail_ok` flag is set — a handoff from a non-final
+          callback of a multi-callback event would run the waiters
+          before the event's remaining callbacks;
+        - the agenda must be empty or its head strictly in the future —
+          a same-time entry was sequenced earlier and must run first;
+        - the nesting depth must be under ``_HANDOFF_LIMIT`` (handoffs
+          consume Python stack);
+        - none of the callbacks may be :meth:`run`'s stop callback —
+          raising ``_StopSimulation`` mid-model-code would skip the
+          caller's remaining work;
+        - the event must have callbacks at all (a fire-and-forget event
+          must still be *processed* later for ``triggered``/``processed``
+          semantics, so it takes the agenda).
+
+        A handed-off event counts in :attr:`events_processed` (its
+        callbacks ran) and in :attr:`handoffs` (it skipped the heap), so
+        throughput metrics and agenda accounting both stay exact.
+        """
+        if event._value is not PENDING:
+            raise SimulationError(f"{event!r} has already been triggered")
+        event._ok = True
+        event._value = value
+        queue = self._queue
+        callbacks = event.callbacks
+        if (callbacks and self._tail_ok
+                and self._handoff_depth < _HANDOFF_LIMIT
+                and (not queue or queue[0][0] > self._now)
+                and _STOP_CB not in callbacks):
+            event.callbacks = None
+            self.events_processed += 1
+            self.handoffs += 1
+            self._handoff_depth += 1
+            try:
+                n = len(callbacks)
+                if n == 1:
+                    callbacks[0](event)
+                else:
+                    self._tail_ok = False
+                    n -= 1
+                    for callback in callbacks[:n]:
+                        callback(event)
+                    self._tail_ok = True
+                    callbacks[n](event)
+            finally:
+                self._handoff_depth -= 1
+            return event
+        heappush(queue,
+                 (self._now, _NORMAL_BASE | next(self._seq), event))
+        return event
+
     def _recycle(self, event):
         """Return a just-processed event to its free list when safe.
 
@@ -270,8 +366,21 @@ class Environment:
         # events the loop consumed.
         self.events_processed += 1
         callbacks, event.callbacks = event.callbacks, None
-        for callback in callbacks:
-            callback(event)
+        # Tail-flag discipline (here and in every loop below): the flag
+        # is True while the callback being dispatched is the last of its
+        # event, which is what licenses :meth:`handoff`'s shortcut.  The
+        # single-callback case — the overwhelming majority — leaves the
+        # flag untouched (it is True between events).
+        n = len(callbacks)
+        if n == 1:
+            callbacks[0](event)
+        elif n:
+            self._tail_ok = False
+            n -= 1
+            for callback in callbacks[:n]:
+                callback(event)
+            self._tail_ok = True
+            callbacks[n](event)
         self._recycle(event)
 
     def _step_profiled(self):
@@ -306,8 +415,16 @@ class Environment:
             raise EmptySchedule("no scheduled events") from None
         self.events_processed += 1
         callbacks, event.callbacks = event.callbacks, None
-        for callback in callbacks:
-            callback(event)
+        n = len(callbacks)
+        if n == 1:
+            callbacks[0](event)
+        elif n:
+            self._tail_ok = False
+            n -= 1
+            for callback in callbacks[:n]:
+                callback(event)
+            self._tail_ok = True
+            callbacks[n](event)
         self._recycle(event)
 
     def _run_profiled(self):
@@ -346,8 +463,16 @@ class Environment:
                     raise EmptySchedule("no scheduled events") from None
                 self.events_processed += 1
                 callbacks, event.callbacks = event.callbacks, None
-                for callback in callbacks:
-                    callback(event)
+                n = len(callbacks)
+                if n == 1:
+                    callbacks[0](event)
+                elif n:
+                    self._tail_ok = False
+                    n -= 1
+                    for callback in callbacks[:n]:
+                        callback(event)
+                    self._tail_ok = True
+                    callbacks[n](event)
                 cls = event.__class__
                 if cls is timeout_cls:
                     if pooling and refs(event) == 2:
@@ -403,8 +528,16 @@ class Environment:
         rec[0] += 1
         rec[1] += len(callbacks)
         try:
-            for callback in callbacks:
-                callback(event)
+            n = len(callbacks)
+            if n == 1:
+                callbacks[0](event)
+            elif n:
+                self._tail_ok = False
+                n -= 1
+                for callback in callbacks[:n]:
+                    callback(event)
+                self._tail_ok = True
+                callbacks[n](event)
         finally:
             # finally: a raising callback still gets its time charged.
             t1 = perf_counter_ns()
@@ -428,7 +561,12 @@ class Environment:
             rec = kp._types[event.__class__] = [0, 0, 0]
         rec[0] += 1
         rec[1] += len(callbacks)
-        for callback in callbacks:
+        last = len(callbacks) - 1
+        if last > 0:
+            self._tail_ok = False
+        for i, callback in enumerate(callbacks):
+            if i == last:
+                self._tail_ok = True
             c0 = perf_counter_ns()
             callback(event)
             kp.record_callback(callback, perf_counter_ns() - c0)
@@ -470,7 +608,7 @@ class Environment:
                 if until._ok:
                     return until._value
                 raise until._value
-            until.callbacks.append(_StopSimulation.callback)
+            until.callbacks.append(_STOP_CB)
 
         # When profiling, the whole event loop is timed here — two clock
         # reads per run() call instead of two per event — which is what
@@ -527,8 +665,16 @@ class Environment:
                     raise EmptySchedule("no scheduled events") from None
                 n += 1
                 callbacks, event.callbacks = event.callbacks, None
-                for callback in callbacks:
-                    callback(event)
+                ncb = len(callbacks)
+                if ncb == 1:
+                    callbacks[0](event)
+                elif ncb:
+                    self._tail_ok = False
+                    ncb -= 1
+                    for callback in callbacks[:ncb]:
+                        callback(event)
+                    self._tail_ok = True
+                    callbacks[ncb](event)
                 cls = event.__class__
                 if cls is timeout_cls:
                     if pooling and refs(event) == 2:

@@ -281,9 +281,11 @@ class Process(Event):
                     )
             except (StopIteration, StopProcess) as exc:
                 env._active_process = None
-                self._ok = True
-                self._value = exc.value
-                env.schedule(self)
+                # Tail position by construction: resuming the waiters is
+                # the last thing this resumption does, so the process's
+                # completion may be handed off (dispatched synchronously)
+                # when the environment's ordering guards allow it.
+                env.handoff(self, exc.value)
                 return
             except BaseException as exc:
                 env._active_process = None
@@ -396,7 +398,13 @@ class Condition(Event):
             return
         self._count += 1
         if self._evaluate(self._events, self._count):
-            self.succeed(self._collect())
+            # Tail position: completing the condition is the last thing
+            # this check does, so the completion may be handed straight
+            # to the condition's waiters when ordering permits.  (The
+            # direct calls from ``__init__`` reach here before any
+            # waiter could have registered, so they always fall back to
+            # ordinary scheduling — handoff requires callbacks.)
+            self.env.handoff(self, self._collect())
 
     @staticmethod
     def all_events(events, count):

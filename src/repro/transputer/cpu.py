@@ -40,6 +40,30 @@ LOW = 1
 
 _EPS = 1e-12
 
+#: Process-global dispatch-engine selector, captured per-CPU at
+#: construction (the same pattern as the kernel's pooling toggle): the
+#: default "callback" engine drives dispatch as a callback state
+#: machine; "generator" keeps the original generator process.  Both
+#: produce byte-identical trajectories — the equivalence suite runs the
+#: same model under each and compares run documents — but the callback
+#: engine skips a generator suspension/resume per slice boundary, which
+#: is the kernel's hottest callback site.
+_ENGINE = "callback"
+
+
+def set_cpu_engine(engine):
+    """Select the dispatch engine for CPUs constructed afterwards.
+
+    Returns the previous setting so callers can restore it.
+    """
+    global _ENGINE
+    if engine not in ("callback", "generator"):
+        raise ValueError(f"engine must be 'callback' or 'generator', "
+                         f"got {engine!r}")
+    previous = _ENGINE
+    _ENGINE = engine
+    return previous
+
 
 class WorkRequest(Event):
     """A burst of CPU work; the event fires when the burst completes."""
@@ -116,7 +140,30 @@ class Cpu:
         self._running = None         # request currently holding the CPU
         self._slice_interruptible = False
         self._interrupt_requested = False
-        self._proc = env.process(self._dispatch_loop(), name=f"cpu{node_id}")
+        if _ENGINE == "generator":
+            self._proc = env.process(self._dispatch_loop(),
+                                     name=f"cpu{node_id}")
+        else:
+            self._proc = None
+            # Callback state machine.  The bound continuations are
+            # cached once: they are parked on (and removed from) events
+            # every slice, and a fresh bound method per park would cost
+            # an allocation in the hottest model path.  ``_timer`` holds
+            # the pending overhead/slice Timeout; the continuations
+            # clear it before returning so the event loop's sole-owner
+            # probe lets the timeout recycle through the free list —
+            # one pooled timer serves every slice of this CPU.
+            self._cur = None         # request paying context-switch cost
+            self._cur_prio = LOW
+            self._timer = None       # pending overhead/slice Timeout
+            self._slice_start = 0.0
+            self._slice_len = 0.0
+            self._wakeup_cb = self._cb_wakeup
+            self._overhead_cb = self._cb_overhead
+            self._high_end_cb = self._cb_high_end
+            self._low_end_cb = self._cb_low_end
+            self._interrupt_cb = self._cb_interrupt
+            env.kick(self._cb_boot)
 
     # -- public API -----------------------------------------------------
     def execute(self, work_seconds, priority=LOW, quantum=None, tag=None,
@@ -183,7 +230,7 @@ class Cpu:
                 and running.priority == LOW and self._slice_interruptible
                 and not self._interrupt_requested):
             self._interrupt_requested = True
-            self._proc.interrupt("paused")
+            self._request_interrupt("paused")
 
     def resume_tag(self, tag):
         """Release work parked under ``tag`` back into the ready queue."""
@@ -222,8 +269,188 @@ class Cpu:
         extended = self._slice_interruptible == "extended"
         if priority == HIGH or extended:
             self._interrupt_requested = True
-            self._proc.interrupt("arrival")
+            self._request_interrupt("arrival")
 
+    def _request_interrupt(self, cause):
+        """Deliver a slice interrupt through the active engine.
+
+        Both paths schedule exactly one URGENT agenda entry at the
+        current time from the shared sequence counter, so the engines
+        stay trajectory-identical: the generator receives a thrown
+        :class:`Interrupt`, the state machine a kicked continuation.
+        """
+        if self._proc is not None:
+            self._proc.interrupt(cause)
+        else:
+            self.env.kick(self._interrupt_cb)
+
+    # -- callback dispatch engine -------------------------------------------
+    # Each continuation mirrors one of the generator loop's yield points
+    # exactly — same events created at the same execution points, same
+    # telemetry and accounting order — so the two engines produce
+    # byte-identical trajectories.  Completion events are handed off
+    # (dispatched synchronously, skipping the agenda) when the
+    # environment's ordering guards permit: completing the slice is the
+    # machine's tail action, and the next slice's timer is always
+    # strictly in the future, so the handoff is order-equivalent to
+    # scheduling the completion and popping it next.
+
+    def _cb_boot(self, _event):
+        self._dispatch_next()
+
+    def _dispatch_next(self):
+        if not self._high and not self._low:
+            wakeup = Event(self.env)
+            wakeup.callbacks.append(self._wakeup_cb)
+            self._wakeup = wakeup
+            return
+        if self._high:
+            req = self._high.popleft()
+            prio = HIGH
+        else:
+            req = self._low.popleft()
+            prio = LOW
+        cost = self._overhead
+        if cost > 0:
+            self._cur = req
+            self._cur_prio = prio
+            timer = self.env.timeout(cost)
+            timer.callbacks.append(self._overhead_cb)
+            self._timer = timer
+            return
+        if prio == HIGH:
+            self._begin_high(req)
+        else:
+            self._begin_low(req)
+
+    def _cb_wakeup(self, _event):
+        self._wakeup = None
+        self._dispatch_next()
+
+    def _cb_overhead(self, _event):
+        self._timer = None
+        self.stats.overhead_time += self._overhead
+        req = self._cur
+        self._cur = None
+        if self._cur_prio == HIGH:
+            self._begin_high(req)
+        else:
+            self._begin_low(req)
+
+    def _begin_high(self, req):
+        env = self.env
+        self._running = req
+        if req.started_at is None:
+            req.started_at = env.now
+            if self._tel is not None:
+                self._observe_dispatch(req)
+        req.slices += 1
+        self.stats.dispatches += 1
+        self._slice_start = env.now
+        self._slice_len = req.remaining
+        timer = env.timeout(req.remaining)
+        timer.callbacks.append(self._high_end_cb)
+        self._timer = timer
+
+    def _cb_high_end(self, _event):
+        self._timer = None
+        req = self._running
+        burst = self._slice_len
+        req.remaining = 0.0
+        req.cpu_time += burst
+        stats = self.stats
+        stats.busy_time += burst
+        stats.high_time += burst
+        stats.completed += 1
+        self._running = None
+        if self._tel is not None:
+            self._observe_slice(req, self._slice_start, burst, "high")
+        self._dispatch_next()
+        self.env.handoff(req, req)
+
+    def _begin_low(self, req):
+        env = self.env
+        self._running = req
+        if self._tel is not None:
+            self._observe_wait(req)
+        if req.started_at is None:
+            req.started_at = env.now
+            if self._tel is not None:
+                self._observe_dispatch(req)
+        req.slices += 1
+        self.stats.dispatches += 1
+        if self._high or self._low:
+            slice_len = min(req.quantum, req.remaining)
+            self._slice_interruptible = "quantum"
+        else:
+            # Single-runnable optimisation: run the whole remaining
+            # burst; any arrival interrupts us and the elapsed time is
+            # credited (see _notify_arrival).
+            slice_len = req.remaining
+            self._slice_interruptible = "extended"
+        self._slice_start = env.now
+        self._slice_len = slice_len
+        timer = env.timeout(slice_len)
+        timer.callbacks.append(self._low_end_cb)
+        self._timer = timer
+
+    def _cb_low_end(self, _event):
+        self._timer = None
+        self._finish_low(self._slice_len, False)
+
+    def _cb_interrupt(self, _event):
+        # The machine's counterpart of Process._resume_interrupt plus
+        # the generator's except-Interrupt branch: detach from the
+        # pending slice timer (its stale agenda entry then pops with
+        # none of our callbacks and recycles) and credit elapsed time.
+        timer = self._timer
+        self._timer = None
+        if timer is not None and timer.callbacks is not None:
+            try:
+                timer.callbacks.remove(self._low_end_cb)
+            except ValueError:
+                pass
+        self._interrupt_requested = False
+        self.stats.preemptions += 1
+        self._finish_low(self.env.now - self._slice_start, True)
+
+    def _finish_low(self, elapsed, preempted):
+        env = self.env
+        req = self._running
+        self._slice_interruptible = False
+        self._running = None
+        req.remaining -= elapsed
+        req.cpu_time += elapsed
+        stats = self.stats
+        stats.busy_time += elapsed
+        stats.low_time += elapsed
+        tel = self._tel
+        if elapsed > 0 and tel is not None:
+            self._observe_slice(req, self._slice_start, elapsed, "low")
+        if preempted and tel is not None:
+            node = self.node_id if self.node_id is not None else -1
+            tel.metrics.counter("cpu.preemptions").inc()
+            tel.event("cpu.preempt", f"node{node}.cpu", node=node,
+                      tag=req.tag)
+        if req.remaining <= _EPS:
+            req.remaining = 0.0
+            stats.completed += 1
+            self._dispatch_next()
+            env.handoff(req, req)
+            return
+        req.ready_since = env.now
+        req.ready_kind = "requeue"
+        # Unfinished work whose tag was paused mid-slice parks instead
+        # of re-queueing (gang scheduling descheduled its job).
+        if req.tag in self._paused:
+            self._paused[req.tag].append(req)
+        elif self.config.requeue_at_back or not preempted:
+            self._low.append(req)
+        else:
+            self._low.appendleft(req)
+        self._dispatch_next()
+
+    # -- generator dispatch engine ------------------------------------------
     def _dispatch_loop(self):
         env = self.env
         cfg = self.config

@@ -1,0 +1,184 @@
+"""Equivalence properties of the model-layer fast path (GUIDE §16).
+
+Three families of guarantees the speed pass must uphold:
+
+- the keyed :class:`FilterStore` index is a pure lookup structure —
+  any interleaving of puts and (keyed or predicate) gets serves exactly
+  the same items to the same getters at the same times as the legacy
+  predicate scan;
+- both code paths implement oldest-matching FIFO semantics, checked
+  against a brute-force reference model;
+- the callback CPU engine and the original generator dispatch loop
+  produce byte-identical run documents.
+"""
+
+import dataclasses
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment, FilterStore
+from repro.transputer import cpu as cpu_module
+from repro.transputer.cpu import set_cpu_engine
+
+
+# ------------------------------------------------------------------ stores
+@st.composite
+def store_scripts(draw):
+    """A random interleaving of tagged puts and keyed/predicate gets."""
+    tags = draw(st.integers(min_value=1, max_value=4))
+    ops = draw(st.lists(
+        st.tuples(
+            st.sampled_from(["put", "get_key", "get_pred"]),
+            st.integers(min_value=0, max_value=tags - 1),
+        ),
+        min_size=1, max_size=40,
+    ))
+    return ops
+
+
+def run_script(ops, keyed):
+    """Execute one op per simulated second; log every completed get.
+
+    Gets are posted without waiting (some legitimately never complete),
+    so the log records the full observable behaviour: which getter got
+    which item at which time, in completion order.
+    """
+    env = Environment()
+    store = FilterStore(env, key=(lambda item: item[0]) if keyed else None)
+    served = []
+
+    def driver(env):
+        for i, (kind, tag) in enumerate(ops):
+            if kind == "put":
+                store.put((tag, i))
+            else:
+                if kind == "get_key" and keyed:
+                    get = store.get(key=tag)
+                else:
+                    get = store.get(lambda m, t=tag: m[0] == t)
+                get.callbacks.append(
+                    lambda ev, i=i: served.append((i, ev._value, env.now)))
+            yield env.timeout(1)
+
+    env.process(driver(env))
+    env.run()
+    return served
+
+
+def reference_serves(ops):
+    """Brute-force oldest-matching FIFO model of the same script.
+
+    Items live in insertion order; getters wait in registration order.
+    A get is served immediately from the oldest matching item, else it
+    waits; each put offers the new item to the oldest matching waiter.
+    The op at index ``i`` executes at time ``i`` (the driver above posts
+    one op per second starting at 0) and events triggered at time ``t``
+    run their callbacks at ``t`` without delay.
+    """
+    items = []    # (tag, seq), insertion order
+    waiters = []  # (getter index, tag), registration order
+    served = []
+    for now, (kind, tag) in enumerate(ops):
+        if kind == "put":
+            item = (tag, now)
+            for w, (idx, wtag) in enumerate(waiters):
+                if wtag == tag:
+                    del waiters[w]
+                    served.append((idx, item, now))
+                    break
+            else:
+                items.append(item)
+        else:
+            for j, item in enumerate(items):
+                if item[0] == tag:
+                    del items[j]
+                    served.append((now, item, now))
+                    break
+            else:
+                waiters.append((now, tag))
+    return served
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=store_scripts())
+def test_keyed_store_equivalent_to_legacy_scan(ops):
+    """The per-key index must be invisible: same serves, same order,
+    same times as the legacy predicate scan — including scripts that mix
+    keyed and predicate getters over the same tags."""
+    assert run_script(ops, keyed=True) == run_script(ops, keyed=False)
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=store_scripts())
+def test_store_serves_oldest_matching_fifo(ops):
+    """Both implementations must realise oldest-matching FIFO exactly:
+    oldest waiting getter first, each taking the oldest matching item."""
+    expected = reference_serves(ops)
+    assert run_script(ops, keyed=False) == expected
+    assert run_script(ops, keyed=True) == expected
+
+
+def test_keyed_get_api_validation():
+    env = Environment()
+    keyed = FilterStore(env, key=lambda item: item[0])
+    legacy = FilterStore(env)
+    with pytest.raises(ValueError):
+        keyed.get(lambda m: True, key=1)   # mutually exclusive
+    with pytest.raises(ValueError):
+        legacy.get(key=1)                  # key= needs a keyed store
+
+
+# ------------------------------------------------------------------ cpu
+@pytest.fixture
+def engine_restored():
+    previous = cpu_module._ENGINE
+    yield
+    set_cpu_engine(previous)
+
+
+def _figure_cell_doc():
+    from repro.experiments import ExperimentScale, run_cell
+
+    scale = ExperimentScale(
+        "tiny", num_small=2, num_large=1,
+        matmul_small=16, matmul_large=32,
+        sort_small=256, sort_large=512,
+        partition_sizes=(1, 4), topologies=("linear",),
+    )
+    cell = run_cell(3, "matmul", "fixed", 4, "linear", "timesharing", scale)
+    return json.dumps(dataclasses.asdict(cell), sort_keys=True)
+
+
+def _steady_smoke_doc():
+    from repro.experiments.steady import steady_cell
+
+    result = steady_cell("static", rate=4.0, duration=30.0, nodes=4, seed=3)
+    doc = {
+        "arrived": result.jobs_arrived,
+        "completed": result.jobs_completed,
+        "mean": result.mean_response_time,
+        "steady": result.steady,
+        "summary": result.summary,
+    }
+    return json.dumps(doc, sort_keys=True, default=repr)
+
+
+@pytest.mark.parametrize("doc_fn", [_figure_cell_doc, _steady_smoke_doc],
+                         ids=["figure3-cell", "steady-smoke"])
+def test_cpu_engines_byte_identical(doc_fn, engine_restored):
+    """The callback dispatch machine is a pure execution strategy: a
+    closed figure-3 cell and an open steady-state run must serialise
+    byte-for-byte the same under either CPU engine."""
+    set_cpu_engine("callback")
+    with_callbacks = doc_fn()
+    set_cpu_engine("generator")
+    with_generators = doc_fn()
+    assert with_callbacks == with_generators
+
+
+def test_set_cpu_engine_validates():
+    with pytest.raises(ValueError):
+        set_cpu_engine("coroutine")

@@ -102,6 +102,54 @@ def test_filter_store_cancel_releases_waiter():
     assert list(s.items) == ["unicorn"]
 
 
+def test_cancel_foreign_event_raises():
+    """Strict cancel: only events this store/container queued may be
+    cancelled — anything else is a protocol bug, not a silent no-op."""
+    from repro.sim.exceptions import SimulationError
+
+    env = Environment()
+    a, b = Store(env), Store(env)
+    c = Container(env, capacity=5)
+    get = a.get()
+    with pytest.raises(SimulationError):
+        b.cancel(get)            # queued on a different store
+    with pytest.raises(SimulationError):
+        a.cancel(env.event())    # never queued anywhere
+    with pytest.raises(SimulationError):
+        c.cancel(env.event())
+
+
+def test_cancel_after_trigger_is_noop():
+    env = Environment()
+    s = Store(env)
+    s.put("x")
+    get = s.get()
+    env.run()
+    assert get.value == "x"
+    s.cancel(get)  # already served: nothing to withdraw
+    assert len(s) == 0
+
+
+def test_keyed_filter_store_cancel_releases_waiter():
+    env = Environment()
+    s = FilterStore(env, key=lambda item: item)
+
+    def never(env):
+        get = s.get(key="unicorn")
+        result = yield get | env.timeout(1)
+        if get not in result:
+            s.cancel(get)
+
+    def normal(env):
+        yield env.timeout(2)
+        yield s.put("unicorn")
+
+    env.process(never(env))
+    env.process(normal(env))
+    env.run()
+    assert list(s.pending_items()) == ["unicorn"]
+
+
 def test_store_capacity_validation():
     env = Environment()
     with pytest.raises(ValueError):
