@@ -72,6 +72,11 @@ def parse_args(argv):
         help="skip the kernel self-profiler (the document then omits "
              "the kernel_profile sections)",
     )
+    parser.add_argument(
+        "--no-decision-pair", action="store_true",
+        help="skip the decision-ledger off/on overhead pair (the "
+             "document then omits the decision_ledger section)",
+    )
     return parser.parse_args(argv)
 
 
@@ -85,6 +90,7 @@ def main(argv=None):
         compare,
         load_bench,
         load_trajectory,
+        run_decision_pair,
         run_id_of,
         run_scenarios,
         write_bench,
@@ -119,6 +125,16 @@ def main(argv=None):
                   f"clock), agenda depth max "
                   f"{kernel['max_agenda_depth']}{hottest}")
 
+    decision_pair = None
+    if not args.no_decision_pair:
+        decision_pair = run_decision_pair(scale_name=args.scale,
+                                          figure=figures[0])
+        print(f"decision ledger: figure {decision_pair['figure']} "
+              f"overhead x{decision_pair['overhead_ratio']:.3f} "
+              f"(calibration-normalised), "
+              f"{decision_pair['decisions']} decisions, "
+              f"{decision_pair['deferrals']} deferrals")
+
     # Discover the prior documents in the output directory so the new
     # record embeds its position in the trajectory (oldest first).
     out = args.out or f"BENCH_{time.strftime('%Y-%m-%d')}.json"
@@ -134,7 +150,8 @@ def main(argv=None):
         suffix += 1
     doc = bench_document(scenarios, scale_name=args.scale,
                          calibration=calibration, date=date,
-                         run_id=run_id, prior_runs=prior_ids)
+                         run_id=run_id, prior_runs=prior_ids,
+                         decision_ledger=decision_pair)
     write_bench(doc, out)
     print(f"wrote {out} (total wall {doc['total_wall_s']:.2f}s, "
           f"run {run_id}, {len(prior_ids)} prior run(s) in trajectory)")

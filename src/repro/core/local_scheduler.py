@@ -26,6 +26,7 @@ class LocalScheduler:
         # ``system.build``), so one load here replaces the
         # ``node.env.telemetry`` attribute chain on every dispatch.
         self._tel = node.env.telemetry
+        self._led = node.env.decisions
         #: CPU seconds consumed per job id on this node.
         self.job_cpu_time = defaultdict(float)
         #: Burst count per job id.
@@ -51,6 +52,13 @@ class LocalScheduler:
             work_seconds, priority=LOW, quantum=quantum, tag=job.job_id,
             proc=proc,
         )
+        led = self._led
+        if led is not None:
+            # Counter tier: one dispatch decision per submitted burst,
+            # classified by whether a policy quantum bounds it.
+            led.tally("local", "dispatch",
+                      "default_quantum" if quantum is None
+                      else "policy_quantum")
         tel = self._tel
         if tel is not None:
             tel.metrics.histogram("sched.burst_seconds").observe(work_seconds)

@@ -23,6 +23,8 @@ class PartitionScheduler:
         if placement not in ("aligned", "staggered"):
             raise ValueError(f"unknown placement {placement!r}")
         self.env = env
+        #: Decision ledger bound at construction; None when off.
+        self._led = getattr(env, "decisions", None)
         self.partition = partition
         self.policy = policy
         self.config = config
@@ -85,6 +87,16 @@ class PartitionScheduler:
         limit = self.policy.jobs_per_partition_limit()
         while self.pending and (limit is None or len(self.active) < limit):
             self._launch(self.pending.popleft())
+        if self.pending:
+            # Jobs held back by the multiprogramming limit: this wait
+            # lands in the `allocated` bucket, not `queued`, so it is
+            # tabulated but excluded from the queued decomposition.
+            led = self._led
+            if led is not None:
+                led.defer("partition",
+                          f"part{self.partition.partition_id}",
+                          "mpl_limit", len(self.pending),
+                          active=len(self.active), limit=limit)
 
     def _launch(self, job):
         app = job.application
@@ -114,6 +126,13 @@ class PartitionScheduler:
             tel.metrics.histogram("sched.allocation_wait").observe(
                 self.env.now - job.submitted_at
             )
+        led = self._led
+        if led is not None:
+            led.record("partition", "launch", self.placement,
+                       f"part{self.partition.partition_id}",
+                       job=job.job_id, processes=num_processes,
+                       quantum=quantum, offset=offset,
+                       active=len(self.active))
         job.mark_started(self.env.now)
         proc = self.env.process(
             self._job_body(job, app, ctx), name=f"{job.name}-app"
@@ -174,6 +193,12 @@ class PartitionScheduler:
     def _set_gang_active(self, job_id):
         if job_id == self._gang_active:
             return
+        led = self._led
+        if led is not None:
+            led.record("partition", "gang", "rotate",
+                       f"part{self.partition.partition_id}",
+                       job=job_id, previous=self._gang_active,
+                       active=len(self.active))
         self._gang_active = job_id
         for node in self.partition.nodes.values():
             cpu = node.cpu

@@ -39,6 +39,9 @@ class SuperScheduler:
             fly under the dynamic policy.
         """
         self.env = env
+        #: Decision ledger bound at construction (attached in
+        #: ``system.build()`` before schedulers exist); None when off.
+        self._led = getattr(env, "decisions", None)
         self.policy = policy
         self.config = config
         self.partitions = list(partitions or [])
@@ -91,6 +94,13 @@ class SuperScheduler:
             # Equitable distribution: round-robin over partitions.
             part = self.partitions[self._rr_next % len(self.partitions)]
             self._rr_next += 1
+            led = self._led
+            if led is not None:
+                led.record("super", "admit", "round_robin", "super",
+                           job=job.job_id,
+                           partition=part.partition_id,
+                           rr_index=self._rr_next - 1,
+                           partitions=len(self.partitions))
             part.scheduler.admit(job)
         else:
             self.ready_queue.append(job)
@@ -121,20 +131,40 @@ class SuperScheduler:
 
     # -- dispatch ----------------------------------------------------------
     def _dispatch_static(self):
+        led = self._led
         while self.ready_queue:
             free = next((p for p in self.partitions if p.scheduler.is_idle), None)
             if free is None:
+                # One deferral record per stalled dispatch round: the
+                # queued decomposition attributes wait segments to it.
+                if led is not None:
+                    led.defer("super", "super", "no_free_partition",
+                              len(self.ready_queue),
+                              busy=[p.partition_id for p in self.partitions])
                 return
             select = getattr(self.policy, "select_next", None)
             if select is None:
+                idx = 0
                 job = self.ready_queue.popleft()
             else:
                 idx = select(self.ready_queue)
                 job = self.ready_queue[idx]
                 del self.ready_queue[idx]
+            if led is not None:
+                led.record(
+                    "super", "place",
+                    getattr(self.policy, "discipline", "fcfs"), "super",
+                    job=job.job_id, partition=free.partition_id,
+                    queue_index=idx, queue_len=len(self.ready_queue) + 1,
+                    rejected=[
+                        [p.partition_id,
+                         "not_first_free" if p.scheduler.is_idle
+                         else "occupied"]
+                        for p in self.partitions if p is not free])
             free.scheduler.admit(job)
 
     def _dispatch_dynamic(self):
+        led = self._led
         while self.ready_queue:
             running = sum(len(p.scheduler.active) for p in self.partitions)
             size = self.policy.choose_size(
@@ -145,9 +175,21 @@ class SuperScheduler:
                 + sum(p.size for p in self.partitions if not p.scheduler.is_idle),
             )
             if size < 1:
+                if led is not None:
+                    led.defer("super", "super",
+                              "no_free_nodes" if not self._pool
+                              else "policy_rule",
+                              len(self.ready_queue),
+                              free_nodes=len(self._pool), running=running)
                 return
             job = self.ready_queue.popleft()
             node_ids = sorted(self._pool)[:size]
+            if led is not None:
+                led.record("super", "size", "policy", "super",
+                           job=job.job_id, size=size,
+                           free_nodes=len(self._pool),
+                           waiting=len(self.ready_queue) + 1,
+                           running=running, nodes=list(node_ids))
             nodes = {n: self._pool.pop(n) for n in node_ids}
             part = Partition(
                 self.env,

@@ -72,6 +72,18 @@ class SystemConfig:
     #: uses :data:`repro.obs.telemetry.DEFAULT_CAPACITY`); oldest events
     #: are evicted first and counted as dropped.
     telemetry_capacity: int = None
+    #: Enable the scheduling decision ledger
+    #: (:mod:`repro.obs.decisions`): every admission, placement, sizing,
+    #: launch, quantum-arming, and preemption choice is tallied (exact
+    #: counters) and job-granular decisions are ring-recorded, available
+    #: as ``system.decisions`` after the run.  When telemetry is also on
+    #: the decision records share its recorder, interleaved with trace
+    #: events.  Recording never creates simulation events, so results
+    #: are byte-identical either way; the ledger is zero-cost when off.
+    decisions: bool = False
+    #: Ring capacity of the ledger's private recorder when telemetry is
+    #: off (``None`` uses :data:`repro.obs.decisions.DEFAULT_CAPACITY`).
+    decisions_capacity: int = None
 
     def topology_kwargs(self, partition_size):
         name = self.topology.lower()
@@ -104,6 +116,7 @@ class MulticomputerSystem:
         self.partitions = None
         self.super_scheduler = None
         self.telemetry = None
+        self.decisions = None
 
     # -- assembly ------------------------------------------------------
     def build(self):
@@ -121,6 +134,18 @@ class MulticomputerSystem:
             )
         else:
             self.telemetry = None
+        if cfg.decisions:
+            from repro.obs.decisions import attach_ledger
+
+            # Attached before any component is built — the same
+            # construction-time binding contract as telemetry, so hot
+            # components (Cpu, schedulers) can snapshot env.decisions.
+            self.decisions = attach_ledger(
+                env, capacity=cfg.decisions_capacity,
+                telemetry=self.telemetry,
+            )
+        else:
+            self.decisions = None
         nodes = {
             i: TransputerNode(
                 env, i, cfg.transputer, mailbox_bytes=cfg.mailbox_bytes

@@ -145,8 +145,51 @@ def run_scenarios(scale_name="smoke", figures=DEFAULT_FIGURES, jobs=None,
     return scenarios
 
 
+def run_decision_pair(scale_name="smoke", figure=4):
+    """Measure the decision ledger's cost on one figure scenario.
+
+    Runs the figure once ledger-off and once ledger-on, each timed
+    against an adjacent :func:`calibrate` score so host-speed drift
+    partially cancels (same discipline as the kernel profiler's
+    overhead gate), and returns the pair as a record for
+    :func:`bench_document`'s optional ``decision_ledger`` key —
+    tracked across ``BENCH_*.json`` documents so a hot-path regression
+    in the ledger shows up as a rising ``overhead_ratio`` in the
+    trajectory.  A single pair on a noisy host can overstate the ratio;
+    the enforced < 5 % ceiling lives in the test suite's min-of-pairs
+    gate, this record is the longitudinal signal.
+    """
+    from repro.experiments.config import ExperimentScale, figure_spec
+    from repro.experiments.runner import run_figure
+
+    scale = (ExperimentScale.paper() if scale_name == "paper"
+             else ExperimentScale.smoke())
+    spec = figure_spec(figure)
+    run_figure(spec, scale)  # warm both paths
+    run_figure(spec, scale, decisions_sink=[])
+
+    def measure(sink):
+        cal = calibrate(repeats=1)
+        t0 = time.perf_counter()
+        run_figure(spec, scale, decisions_sink=sink)
+        return (time.perf_counter() - t0) / cal
+
+    off_norm = measure(None)
+    sink = []
+    on_norm = measure(sink)
+    return {
+        "figure": figure,
+        "off_normalised_wall": off_norm,
+        "on_normalised_wall": on_norm,
+        "overhead_ratio": on_norm / off_norm if off_norm > 0 else 0.0,
+        "decisions": sum(led.total for _l, _p, led in sink),
+        "deferrals": sum(led.deferrals for _l, _p, led in sink),
+    }
+
+
 def bench_document(scenarios, scale_name="smoke", calibration=None,
-                   date=None, run_id=None, prior_runs=None):
+                   date=None, run_id=None, prior_runs=None,
+                   decision_ledger=None):
     """Assemble the schema-versioned benchmark document.
 
     When the scenarios carry parallel timings (``run_scenarios`` with
@@ -166,6 +209,10 @@ def bench_document(scenarios, scale_name="smoke", calibration=None,
     summed across scenarios (shares recomputed over the combined kernel
     time), total kernel seconds and events, the kernel-clock events/sec
     that results, and the worst agenda depth seen.
+
+    ``decision_ledger``, when given (:func:`run_decision_pair`),
+    embeds the ledger-off/ledger-on overhead pair — optional in the
+    schema like every ``/2`` addition, so older documents still load.
     """
     date = date or time.strftime("%Y-%m-%d")
     doc = {
@@ -179,6 +226,8 @@ def bench_document(scenarios, scale_name="smoke", calibration=None,
     }
     if prior_runs is not None:
         doc["prior_runs"] = list(prior_runs)
+    if decision_ledger is not None:
+        doc["decision_ledger"] = dict(decision_ledger)
     parallel = [s for s in scenarios if "parallel_wall_s" in s]
     if parallel and len(parallel) == len(scenarios):
         par_total = sum(s["parallel_wall_s"] for s in parallel)
@@ -231,11 +280,10 @@ def load_bench(path):
     """Load and validate a benchmark document (``/2`` or legacy ``/1``)."""
     with open(path) as fh:
         doc = json.load(fh)
-    if doc.get("schema") not in COMPAT_SCHEMAS:
-        raise ValueError(
-            f"{path}: unsupported benchmark schema "
-            f"{doc.get('schema')!r} (expected one of {COMPAT_SCHEMAS!r})"
-        )
+    from repro.obs.schemas import check_schema
+
+    check_schema(doc.get("schema"), COMPAT_SCHEMAS, "benchmark",
+                 where=str(path))
     for key in ("date", "scale", "total_wall_s", "scenarios"):
         if key not in doc:
             raise ValueError(f"{path}: benchmark document missing {key!r}")
@@ -253,6 +301,15 @@ def load_bench(path):
         _check_kernel_profile(doc["kernel_profile"], str(path))
     if "prior_runs" in doc and not isinstance(doc["prior_runs"], list):
         raise ValueError(f"{path}: prior_runs must be a list of run ids")
+    if "decision_ledger" in doc:
+        pair = doc["decision_ledger"]
+        if not isinstance(pair, dict):
+            raise ValueError(f"{path}: decision_ledger must be an object")
+        for key in ("figure", "off_normalised_wall", "on_normalised_wall",
+                    "overhead_ratio", "decisions", "deferrals"):
+            if key not in pair:
+                raise ValueError(
+                    f"{path}: decision_ledger section missing {key!r}")
     return doc
 
 

@@ -13,6 +13,8 @@ Examples::
         --attrib-out attrib.json --flame-out profile.collapsed
     python -m repro.experiments hotspots --figure 4 --scale smoke \
         --kernelprof-out hotspots.json --flame-out kernel.collapsed
+    python -m repro.experiments decisions --figure 4 --scale smoke \
+        --decisions-out decisions.jsonl --perfetto-out decisions.trace.json
     python -m repro.experiments --figure all --jobs 0 \
         --sweep-log sweep.jsonl --heartbeat
     python -m repro.experiments diff baseline/ candidate/ \
@@ -48,7 +50,7 @@ def _parse_args(argv):
     )
     parser.add_argument(
         "command", nargs="?",
-        choices=("profile", "diff", "steady", "hotspots"),
+        choices=("profile", "diff", "steady", "hotspots", "decisions"),
         default=None,
         help="'profile' runs the causal profiler over the selected "
              "figures: wait-state attribution per policy, critical "
@@ -62,7 +64,11 @@ def _parse_args(argv):
              "runs the selected figures under the kernel self-profiler "
              "and prints where the *simulator engine* spent its "
              "wall-clock (per-event-type breakdown, agenda pressure, "
-             "callback sites)",
+             "callback sites); 'decisions' replays the selected "
+             "figures with the scheduler decision ledger on and prints "
+             "per-policy why-tables (placements, sizings, deferrals, "
+             "quantum-expiry vs block-yield), checking that each job's "
+             "queued time decomposes exactly over its deferrals",
     )
     parser.add_argument(
         "paths", nargs="*", metavar="PATH",
@@ -134,6 +140,18 @@ def _parse_args(argv):
     parser.add_argument(
         "--top", type=int, default=12, metavar="N",
         help="(hotspots) rows per ranked table (default 12)",
+    )
+    parser.add_argument(
+        "--decisions-out", default=None, metavar="PATH",
+        help="(decisions) write every run's ledger as consecutive "
+             "repro-decisions/1 JSONL segments",
+    )
+    parser.add_argument(
+        "--perfetto-out", default=None, metavar="PATH",
+        help="(decisions) write the last cell's trace — scheduler "
+             "decision instants on per-scheduler tracks, interleaved "
+             "with the ordinary telemetry events — as a Chrome-trace/"
+             "Perfetto JSON (open at ui.perfetto.dev)",
     )
     parser.add_argument(
         "--sweep-log", default=None, metavar="PATH",
@@ -217,6 +235,12 @@ def _parse_args(argv):
              "summary as consecutive repro-steady/1 JSONL segments",
     )
     parser.add_argument(
+        "--decisions", action="store_true",
+        help="(steady) run with the scheduler decision ledger on: "
+             "every streamed window then carries O(1)-memory "
+             "decisions/deferrals rate columns",
+    )
+    parser.add_argument(
         "--chart", action="store_true",
         help="also render figures as ASCII bar charts",
     )
@@ -233,7 +257,8 @@ def _parse_args(argv):
         help="run the closed-form validation report",
     )
     args = parser.parse_args(argv)
-    if args.command in ("profile", "hotspots") and args.figure is None:
+    if args.command in ("profile", "hotspots", "decisions") and \
+            args.figure is None:
         args.figure = "4"  # the paper's central comparison
     if args.command == "diff":
         if len(args.paths) != 2:
@@ -243,12 +268,12 @@ def _parse_args(argv):
         parser.error(f"unexpected positional arguments {args.paths}")
     if args.command == "hotspots" and args.sample_every < 1:
         parser.error("--sample-every must be >= 1")
-    if args.command not in ("diff", "steady", "hotspots") and not (
-            args.figure or args.ablation or args.sensitivity
-            or args.topologies or args.validate):
-        parser.error("pass a command (profile, diff, steady, hotspots), "
-                     "--figure, --ablation, --sensitivity, --topologies "
-                     "and/or --validate")
+    if args.command not in ("diff", "steady", "hotspots", "decisions") \
+            and not (args.figure or args.ablation or args.sensitivity
+                     or args.topologies or args.validate):
+        parser.error("pass a command (profile, diff, steady, hotspots, "
+                     "decisions), --figure, --ablation, --sensitivity, "
+                     "--topologies and/or --validate")
     return args
 
 
@@ -273,6 +298,19 @@ def _sweep_observer(args):
     if not observers:
         return None
     return observers[0] if len(observers) == 1 else MultiObserver(observers)
+
+
+def _artifact(out, path, schema, detail=""):
+    """One line per written artifact: path, schema id, optional detail.
+
+    Every subcommand that writes a document reports it through here so
+    the terminal output always says *what* was written, not just where
+    — ``schema`` is a registry id like ``repro-metrics/1`` for JSON/
+    JSONL documents, or a plain format name (``csv``, ``chrome-trace``,
+    ``collapsed-stacks``, ``text``) for unversioned formats.
+    """
+    tail = f"; {detail}" if detail else ""
+    print(f"wrote {path} [{schema}{tail}]", file=out)
 
 
 def _run_figures(args, out=None):
@@ -350,7 +388,11 @@ def _run_figure_sweep(args, numbers, scale, jobs, observer,
     if args.csv:
         with open(args.csv, "w") as fh:
             fh.write(grid_to_csv(all_cells))
-        print(f"wrote {args.csv}", file=out)
+        _artifact(out, args.csv, "csv", f"{len(all_cells)} grid cells")
+    if args.sweep_log:
+        # Observers must not perturb stdout (it is byte-identical with
+        # and without them), so this artifact line goes to stderr.
+        _artifact(sys.stderr, args.sweep_log, "repro-sweep/1")
     if telemetry_wanted:
         _write_telemetry(args, all_telemetry, out)
     if profiling and (args.attrib_out or args.flame_out):
@@ -381,9 +423,10 @@ def _write_telemetry(args, entries, out):
         figure, label, policy, tel = entries[-1]
         n = write_perfetto(tel, args.trace_out)
         summary = tel.summary()
-        print(f"wrote {args.trace_out} ({n} trace events from cell "
-              f"{label} [{policy}]; {summary['events']} recorded, "
-              f"{summary['dropped']} dropped)", file=out)
+        _artifact(out, args.trace_out, "chrome-trace",
+                  f"{n} trace events from cell {label} ({policy}); "
+                  f"{summary['events']} recorded, "
+                  f"{summary['dropped']} dropped")
     if args.metrics_out:
         from repro.experiments.parallel import merged_metrics
 
@@ -410,8 +453,9 @@ def _write_telemetry(args, entries, out):
         with open(args.metrics_out, "w") as fh:
             json.dump(doc, fh, indent=1)
         dropped = sum(c["summary"]["dropped"] for c in doc["cells"])
-        print(f"wrote {args.metrics_out} ({len(doc['cells'])} cells, "
-              f"{dropped} events dropped overall)", file=out)
+        _artifact(out, args.metrics_out, "repro-metrics/1",
+                  f"{len(doc['cells'])} cells, "
+                  f"{dropped} events dropped overall")
 
 
 def _write_profile(args, entries, out):
@@ -442,8 +486,8 @@ def _write_profile(args, entries, out):
         with open(args.attrib_out, "w") as fh:
             json.dump(doc, fh, indent=1)
         jobs = sum(len(p.jobs) for _f, _l, _p, p, _d in profiles)
-        print(f"wrote {args.attrib_out} ({len(profiles)} cells, "
-              f"{jobs} jobs attributed)", file=out)
+        _artifact(out, args.attrib_out, "repro-profile/1",
+                  f"{len(profiles)} cells, {jobs} jobs attributed")
     if args.flame_out:
         lines = []
         for _figure, label, policy, prof, _dropped in profiles:
@@ -454,8 +498,9 @@ def _write_profile(args, entries, out):
             fh.write("\n".join(lines))
             if lines:
                 fh.write("\n")
-        print(f"wrote {args.flame_out} ({len(lines)} stacks; open with "
-              f"speedscope or flamegraph.pl)", file=out)
+        _artifact(out, args.flame_out, "collapsed-stacks",
+                  f"{len(lines)} stacks; open with speedscope "
+                  f"or flamegraph.pl")
 
 
 def _run_diff(args, out=None):
@@ -498,11 +543,12 @@ def _run_diff(args, out=None):
     if args.report_out:
         with open(args.report_out, "w", encoding="utf-8") as fh:
             fh.write(report)
-        print(f"wrote {args.report_out}", file=out)
+        _artifact(out, args.report_out, "text", "human-readable report")
     if args.json_out:
         with open(args.json_out, "w") as fh:
             json.dump(result.to_dict(), fh, indent=1)
-        print(f"wrote {args.json_out}", file=out)
+        _artifact(out, args.json_out, "repro-diff/1",
+                  f"{len(result.cells)} cells")
     return result.exit_code(fail_on_regression=args.fail_on_regression)
 
 
@@ -544,14 +590,108 @@ def _run_hotspots(args, out=None):
     print(format_kernelprof(doc, top=args.top), file=out)
     if args.kernelprof_out:
         write_kernelprof(doc, args.kernelprof_out)
-        print(f"wrote {args.kernelprof_out}", file=out)
+        _artifact(out, args.kernelprof_out, "repro-kernelprof/1",
+                  f"{doc['events']} events profiled")
     if args.flame_out:
         lines = kernel_collapsed_lines(doc)
         write_collapsed_lines(args.flame_out, lines)
-        print(f"wrote {args.flame_out} ({len(lines)} stacks; open with "
-              f"speedscope or flamegraph.pl)", file=out)
+        _artifact(out, args.flame_out, "collapsed-stacks",
+                  f"{len(lines)} stacks; open with speedscope "
+                  f"or flamegraph.pl")
     print(f"  ({time.time() - start:.1f}s)", file=out)
     return 0
+
+
+def _run_decisions(args, out=None):
+    """``decisions``: replay figures with the scheduler decision ledger.
+
+    Runs the selected figures serially with both telemetry and the
+    decision ledger enabled, prints the per-policy decision table
+    (placements, sizings, deferral depths, quantum-expiry vs
+    block-yield ratios), and checks the linkage invariant on every
+    run: each job's profiled ``queued`` bucket must decompose exactly
+    over the super-scheduler deferral decisions that explain it.
+    ``--decisions-out`` streams every run's ledger as consecutive
+    ``repro-decisions/1`` segments; ``--perfetto-out`` exports the last
+    cell's trace with decision instants on per-scheduler tracks.
+    Returns the process exit code (2 when a linkage check fails).
+    """
+    out = out or sys.stdout
+    from repro.obs import (
+        DecisionsLog,
+        check_decomposition,
+        decision_table,
+        format_decision_table,
+        profile_run,
+        queued_decomposition,
+        write_perfetto,
+    )
+
+    scale = (ExperimentScale.paper() if args.scale == "paper"
+             else ExperimentScale.smoke())
+    numbers = [3, 4, 5, 6] if args.figure == "all" else [int(args.figure)]
+    start = time.time()
+    all_cells = []
+    entries = []      # (figure, label, policy, DecisionLedger)
+    tel_entries = []  # (figure, label, policy, Telemetry), same order
+    for number in numbers:
+        spec = figure_spec(number)
+        print(f"=== Decisions: figure {number} ({spec.title}) "
+              f"[{scale.name}]", file=out)
+        sink, dsink = [], []
+        cells = run_figure(spec, scale, telemetry_sink=sink,
+                           decisions_sink=dsink)
+        all_cells.extend(cells)
+        tel_entries.extend((number, label, policy, tel)
+                           for label, policy, tel in sink)
+        entries.extend((number, label, policy, led)
+                       for label, policy, led in dsink)
+    print(format_decision_table(
+        decision_table([(label, policy, led)
+                        for _f, label, policy, led in entries])), file=out)
+    # Linkage invariant: the ledger and the causal profiler agree on
+    # where queued time went, run by run and to the last float.
+    checked = queued_jobs = failures = 0
+    for (figure, label, _p, led), (_f, _l, _p2, tel) in zip(entries,
+                                                            tel_entries):
+        # The shared recorder carries both the job.* lifecycle marks
+        # and the ledger's decision records — the decomposition needs
+        # both.
+        decomp = queued_decomposition(led.recorder)
+        try:
+            check_decomposition(decomp, profile_run(tel))
+        except ValueError as exc:
+            failures += 1
+            print(f"  LINKAGE FAILED figure {figure} cell {label}: {exc}",
+                  file=out)
+        checked += 1
+        queued_jobs += len(decomp)
+    print(f"linkage: queued-bucket decomposition exact on "
+          f"{checked - failures}/{checked} runs "
+          f"({queued_jobs} queued jobs)", file=out)
+    if args.csv:
+        with open(args.csv, "w") as fh:
+            fh.write(grid_to_csv(all_cells))
+        _artifact(out, args.csv, "csv", f"{len(all_cells)} grid cells")
+    if args.decisions_out:
+        log = DecisionsLog(args.decisions_out)
+        try:
+            for figure, label, policy, led in entries:
+                log.write_segment(led, figure=figure, label=label,
+                                  policy=policy)
+        finally:
+            log.close()
+        total = sum(led.total for _f, _l, _p, led in entries)
+        _artifact(out, args.decisions_out, "repro-decisions/1",
+                  f"{len(entries)} segments, {total} decisions")
+    if args.perfetto_out:
+        figure, label, policy, tel = tel_entries[-1]
+        n = write_perfetto(tel, args.perfetto_out)
+        _artifact(out, args.perfetto_out, "chrome-trace",
+                  f"{n} events incl. decision instants from cell "
+                  f"{label} ({policy})")
+    print(f"  ({time.time() - start:.1f}s)", file=out)
+    return 2 if failures else 0
 
 
 def _run_steady(args, out=None):
@@ -599,13 +739,15 @@ def _run_steady(args, out=None):
             rhos, policies, duration=args.duration, nodes=args.nodes,
             window=args.window, seed=args.seed, log=log,
             arrival=args.arrival, progress=progress,
+            decisions=args.decisions,
         )
     finally:
         if log is not None:
             log.close()
     print(format_steady_table(rows), file=out)
     if args.steady_out:
-        print(f"wrote {args.steady_out}", file=out)
+        _artifact(out, args.steady_out, "repro-steady/1",
+                  f"{len(rows)} cell segments")
     print(f"  ({time.time() - start:.1f}s)", file=out)
     unsound = [r for r in rows if not r["sound"]]
     if unsound:
@@ -698,6 +840,8 @@ def main(argv=None):
         return _run_steady(args)
     if args.command == "hotspots":
         return _run_hotspots(args)
+    if args.command == "decisions":
+        return _run_decisions(args)
     if args.validate:
         if not _run_validation(jobs=args.jobs):
             return 1

@@ -53,25 +53,31 @@ def _policy_for(kind, partition_size, num_nodes):
     raise ValueError(f"unknown policy family {kind!r}")
 
 
-def run_static_averaged(config, partition_size, batch, telemetry_sink=None):
+def run_static_averaged(config, partition_size, batch, telemetry_sink=None,
+                        decisions_sink=None):
     """Static policy: average of best and worst FCFS orderings.
 
     Returns (mean_response_time, best_result, worst_result), matching
     Section 5.1's fairness rule for comparing against time-sharing.
     ``telemetry_sink``, if given, receives the instrumented systems'
     :class:`~repro.obs.Telemetry` objects (requires
-    ``config.telemetry``).
+    ``config.telemetry``); ``decisions_sink`` likewise receives their
+    :class:`~repro.obs.DecisionLedger` objects (requires
+    ``config.decisions``).
     """
     best_sys = MulticomputerSystem(config, StaticSpaceSharing(partition_size))
     best = best_sys.run_batch(batch.ordered("best"), label="static:best")
     worst_sys = MulticomputerSystem(config, StaticSpaceSharing(partition_size))
     worst = worst_sys.run_batch(batch.ordered("worst"), label="static:worst")
-    if telemetry_sink is not None:
-        for order, system in (("best", best_sys), ("worst", worst_sys)):
-            if system.telemetry is not None:
-                telemetry_sink.append(
-                    (f"static:{order}", "static", system.telemetry)
-                )
+    for order, system in (("best", best_sys), ("worst", worst_sys)):
+        if telemetry_sink is not None and system.telemetry is not None:
+            telemetry_sink.append(
+                (f"static:{order}", "static", system.telemetry)
+            )
+        if decisions_sink is not None and system.decisions is not None:
+            decisions_sink.append(
+                (f"static:{order}", "static", system.decisions)
+            )
     mean = (best.mean_response_time + worst.mean_response_time) / 2.0
     return mean, best, worst
 
@@ -102,17 +108,21 @@ def averaged_static_metrics(first, second):
 
 def run_cell(figure, app, architecture, partition_size, topology,
              policy_kind, scale, transputer=None, system_overrides=None,
-             telemetry_sink=None):
+             telemetry_sink=None, decisions_sink=None):
     """Run one grid cell and return a :class:`GridCell`.
 
     ``telemetry_sink``, if given, is a list to which the cell's run is
     added as ``(cell_label, policy, Telemetry)`` — telemetry is enabled
-    on the run automatically.
+    on the run automatically.  ``decisions_sink`` works the same way
+    for ``(cell_label, policy, DecisionLedger)`` entries, enabling the
+    decision ledger on the run.
     """
     kwargs = {"num_nodes": 16, "topology": topology}
     kwargs.update(system_overrides or {})
     if telemetry_sink is not None:
         kwargs.setdefault("telemetry", True)
+    if decisions_sink is not None:
+        kwargs.setdefault("decisions", True)
     if transputer is not None:
         kwargs["transputer"] = transputer
     config = SystemConfig(**kwargs)
@@ -121,9 +131,12 @@ def run_cell(figure, app, architecture, partition_size, topology,
     label = f"{partition_size}{topology[0].upper()}"
 
     cell_sink = [] if telemetry_sink is not None else None
+    cell_decisions = [] if decisions_sink is not None else None
     if policy_kind == "static":
-        mean, best, worst = run_static_averaged(config, partition_size, batch,
-                                                telemetry_sink=cell_sink)
+        mean, best, worst = run_static_averaged(
+            config, partition_size, batch,
+            telemetry_sink=cell_sink, decisions_sink=cell_decisions,
+        )
         mean, makespan, memory_wait, cpu_util = averaged_static_metrics(
             best, worst
         )
@@ -133,12 +146,18 @@ def run_cell(figure, app, architecture, partition_size, topology,
         result = system.run_batch(batch)
         if cell_sink is not None and system.telemetry is not None:
             cell_sink.append((policy_kind, policy_kind, system.telemetry))
+        if cell_decisions is not None and system.decisions is not None:
+            cell_decisions.append(
+                (policy_kind, policy_kind, system.decisions))
         mean = result.mean_response_time
         makespan = result.makespan
         memory_wait, cpu_util = _snapshot_metrics(result.snapshot)
     if telemetry_sink is not None:
         for sub_label, _, tel in cell_sink:
             telemetry_sink.append((f"{label}:{sub_label}", policy_kind, tel))
+    if decisions_sink is not None:
+        for sub_label, _, led in cell_decisions:
+            decisions_sink.append((f"{label}:{sub_label}", policy_kind, led))
 
     return GridCell(
         figure=figure,
@@ -185,7 +204,8 @@ def enumerate_cells(spec, scale):
 
 
 def run_figure(spec, scale, transputer=None, system_overrides=None,
-               progress=None, telemetry_sink=None, observer=None):
+               progress=None, telemetry_sink=None, observer=None,
+               decisions_sink=None):
     """Regenerate one of the paper's figures as a list of GridCells.
 
     The paper's plot has a static and a time-sharing/hybrid series over
@@ -212,7 +232,8 @@ def run_figure(spec, scale, transputer=None, system_overrides=None,
             cell = run_cell(
                 scale=scale, transputer=transputer,
                 system_overrides=system_overrides,
-                telemetry_sink=telemetry_sink, **task,
+                telemetry_sink=telemetry_sink,
+                decisions_sink=decisions_sink, **task,
             )
             cells.append(cell)
             if observer is not None:

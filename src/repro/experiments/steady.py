@@ -64,12 +64,16 @@ def _spec_factory(mean_ops):
 
 
 def steady_cell(policy_kind, rate, duration, *, nodes=4, topology="mesh",
-                mean_ops=DEFAULT_MEAN_OPS, seed=7, window=None, log=None):
+                mean_ops=DEFAULT_MEAN_OPS, seed=7, window=None, log=None,
+                decisions=False):
     """Run one open-system cell; returns an ``OpenRunResult``.
 
     ``window`` defaults to 2% of ``duration`` so every cell emits ~50
     windows regardless of scale; pass an explicit width to align
-    windows across cells of different durations.
+    windows across cells of different durations.  ``decisions=True``
+    enables the scheduling decision ledger: each emitted window then
+    carries per-window decision/deferral counts (O(1) memory — the sink
+    snapshots the ledger's cumulative totals).
     """
     import numpy as np
 
@@ -85,7 +89,8 @@ def steady_cell(policy_kind, rate, duration, *, nodes=4, topology="mesh",
     factory = _spec_factory(mean_ops)
     arrivals = poisson_arrivals(rate, duration, factory, rng)
     sink = SteadyStateSink(window=window or duration / 50.0, log=log)
-    config = SystemConfig(num_nodes=nodes, topology=topology)
+    config = SystemConfig(num_nodes=nodes, topology=topology,
+                          decisions=decisions)
     system = MulticomputerSystem(config, build())
     return system.run_open(
         arrivals, collect_jobs=False, sink=sink,
@@ -95,7 +100,8 @@ def steady_cell(policy_kind, rate, duration, *, nodes=4, topology="mesh",
 
 def steady_cell_bursty(policy_kind, rate, duration, *, nodes=4,
                        topology="mesh", mean_ops=DEFAULT_MEAN_OPS, seed=7,
-                       window=None, log=None, mean_on=2.0, mean_off=2.0):
+                       window=None, log=None, mean_on=2.0, mean_off=2.0,
+                       decisions=False):
     """Bursty (MMPP on/off) variant of :func:`steady_cell`.
 
     ``rate`` is the *offered* long-run rate; the in-burst peak rate is
@@ -113,7 +119,8 @@ def steady_cell_bursty(policy_kind, rate, duration, *, nodes=4,
     arrivals = bursty_arrivals(peak, duration, factory, rng,
                                mean_on=mean_on, mean_off=mean_off)
     sink = SteadyStateSink(window=window or duration / 50.0, log=log)
-    config = SystemConfig(num_nodes=nodes, topology=topology)
+    config = SystemConfig(num_nodes=nodes, topology=topology,
+                          decisions=decisions)
     system = MulticomputerSystem(config, build())
     return system.run_open(
         arrivals, collect_jobs=False, sink=sink,
@@ -124,7 +131,8 @@ def steady_cell_bursty(policy_kind, rate, duration, *, nodes=4,
 def run_steady_sweep(rhos=DEFAULT_RHOS, policies=("static", "ts"), *,
                      duration=200.0, nodes=4, topology="mesh",
                      mean_ops=DEFAULT_MEAN_OPS, seed=7, window=None,
-                     log=None, arrival="poisson", progress=None):
+                     log=None, arrival="poisson", progress=None,
+                     decisions=False):
     """Sweep offered load × policy; returns a list of row dicts.
 
     Each row carries the cell's counts, the streaming mean, the
@@ -140,11 +148,13 @@ def run_steady_sweep(rhos=DEFAULT_RHOS, policies=("static", "ts"), *,
             if arrival == "bursty":
                 result = steady_cell_bursty(
                     policy, rate, duration, nodes=nodes, topology=topology,
-                    mean_ops=mean_ops, seed=seed, window=window, log=log)
+                    mean_ops=mean_ops, seed=seed, window=window, log=log,
+                    decisions=decisions)
             elif arrival == "poisson":
                 result = steady_cell(
                     policy, rate, duration, nodes=nodes, topology=topology,
-                    mean_ops=mean_ops, seed=seed, window=window, log=log)
+                    mean_ops=mean_ops, seed=seed, window=window, log=log,
+                    decisions=decisions)
             else:
                 raise ValueError(
                     f"unknown arrival discipline {arrival!r}; choose "

@@ -19,6 +19,16 @@ code that prefers to hold a registry unconditionally can use the shared
 telemetry cannot perturb simulated time.
 """
 
+from repro.obs.decisions import (
+    DecisionLedger,
+    DecisionsLog,
+    attach_ledger,
+    check_decomposition,
+    decision_table,
+    format_decision_table,
+    queued_decomposition,
+    read_decisions_log,
+)
 from repro.obs.diff import (
     DiffResult,
     RunBundle,
@@ -67,6 +77,15 @@ from repro.obs.profile import (
     write_collapsed,
     write_collapsed_lines,
 )
+from repro.obs.schemas import (
+    REGISTRY,
+    SchemaEntry,
+    check_schema,
+    load_document,
+    register_schema,
+    schema_ids,
+    sniff_schema,
+)
 from repro.obs.steadylog import SteadyLog, read_steady_log
 from repro.obs.streaming import (
     BatchSeries,
@@ -102,6 +121,8 @@ __all__ = [
     "BUCKETS",
     "BatchSeries",
     "Counter",
+    "DecisionLedger",
+    "DecisionsLog",
     "CpSegment",
     "CriticalPath",
     "DEFAULT_BOUNDARIES",
@@ -120,9 +141,11 @@ __all__ = [
     "OnlineStats",
     "OpenRunResult",
     "Profile",
+    "REGISTRY",
     "QuantileSketch",
     "RunBundle",
     "STEADY_BOUNDARIES",
+    "SchemaEntry",
     "Span",
     "SteadyLog",
     "SteadyStateSink",
@@ -131,14 +154,19 @@ __all__ = [
     "SweepObserver",
     "Telemetry",
     "attach",
+    "attach_ledger",
     "batch_means_ci",
     "bootstrap_mean_delta",
     "bucket_names",
+    "check_decomposition",
+    "check_schema",
+    "decision_table",
     "diff_runs",
     "format_diff_report",
     "load_run_bundle",
     "read_sweep_log",
     "collapsed_lines",
+    "format_decision_table",
     "format_kernelprof",
     "job_spans",
     "jsonl_lines",
@@ -146,17 +174,23 @@ __all__ = [
     "kernel_collapsed_lines",
     "kernel_profile",
     "lag1_autocorrelation",
+    "load_document",
     "load_kernelprof",
     "log_boundaries",
     "mser",
     "node_pid",
     "pid_node",
     "process_spans",
+    "queued_decomposition",
     "profile_events",
     "profile_run",
     "register_phase",
+    "read_decisions_log",
     "read_steady_log",
+    "register_schema",
     "registry_of",
+    "schema_ids",
+    "sniff_schema",
     "slice_spans",
     "t_quantile_975",
     "to_perfetto",

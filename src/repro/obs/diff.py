@@ -171,6 +171,14 @@ def load_run_bundle(path):
         from repro.experiments.bench_json import load_bench
 
         doc = load_bench(p)  # full validation
+    elif doc.get("schema"):
+        # Tagged metrics/attribution documents validate through the
+        # schema registry (pre-schema metrics snapshots stay accepted).
+        from repro.obs.schemas import REGISTRY
+
+        entry = REGISTRY.get(doc["schema"])
+        if entry is not None:
+            doc = entry.load(p)
     setattr(bundle, kind, doc)
     return bundle
 

@@ -568,11 +568,9 @@ def validate_kernelprof(doc):
     """
     if not isinstance(doc, dict):
         raise ValueError("kernelprof document must be a JSON object")
-    if doc.get("schema") != SCHEMA:
-        raise ValueError(
-            f"unsupported kernelprof schema {doc.get('schema')!r} "
-            f"(expected {SCHEMA!r})"
-        )
+    from repro.obs.schemas import check_schema
+
+    check_schema(doc.get("schema"), SCHEMA, "kernelprof")
     for key in _REQUIRED_KEYS:
         if key not in doc:
             raise ValueError(f"kernelprof document missing {key!r}")

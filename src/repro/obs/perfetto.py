@@ -149,6 +149,24 @@ def to_perfetto(telemetry, process_tracks=False):
                 "args": {"nbytes": e.detail["nbytes"],
                          "wait": e.detail.get("wait", 0.0)},
             })
+        elif e.category == "sched.decision":
+            # Decision-ledger records: instants on per-scheduler tracks
+            # (one thread per partition scheduler, one for the super
+            # scheduler), so placement/deferral/launch choices line up
+            # against the hardware tracks they caused work on.
+            d = e.detail
+            layer = d.get("layer", "?")
+            if layer == "partition":
+                tid = tids.tid(SCHEDULER_PID, f"decisions:{e.subject}")
+            else:
+                tid = tids.tid(SCHEDULER_PID, "decisions:super")
+            events.append({
+                "ph": "i", "name": f"{d.get('kind', '?')}:"
+                                   f"{d.get('reason', '?')}",
+                "cat": e.category, "pid": SCHEDULER_PID, "tid": tid,
+                "ts": _us(e.time), "s": "t",
+                "args": {k: str(v) for k, v in d.items()},
+            })
         elif e.category.startswith("job."):
             continue  # handled below via span derivation
         elif e.category in _PROFILE_CATEGORIES:

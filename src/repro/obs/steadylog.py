@@ -27,6 +27,8 @@ from __future__ import annotations
 
 import json
 
+from repro.obs.schemas import check_schema
+
 #: Steady-stream schema identifier; bump on incompatible layout changes.
 SCHEMA = "repro-steady/1"
 
@@ -100,11 +102,13 @@ def read_steady_log(path_or_lines):
             raise ValueError(f"steady log line {lineno}: missing 'ev' tag")
         ev = record["ev"]
         if not in_segment:
-            if ev != "steady.start" or record.get("schema") != SCHEMA:
+            if ev != "steady.start":
                 raise ValueError(
                     f"steady log line {lineno}: expected a {SCHEMA} "
                     f"steady.start event, got {ev!r}"
                 )
+            check_schema(record.get("schema"), SCHEMA, "steady log",
+                         where=f"steady log line {lineno}")
             in_segment = True
             last_window = None
         elif ev == "window":

@@ -355,10 +355,12 @@ class SteadyWindow:
     """One closed time window of the steady-state stream."""
 
     __slots__ = ("index", "t0", "t1", "arrived", "completed", "rt_mean",
-                 "jobs_in_system", "utilization", "partial")
+                 "jobs_in_system", "utilization", "partial",
+                 "decisions", "deferrals")
 
     def __init__(self, index, t0, t1, arrived, completed, rt_mean,
-                 jobs_in_system, utilization, partial=False):
+                 jobs_in_system, utilization, partial=False,
+                 decisions=None, deferrals=None):
         self.index = index
         self.t0 = t0
         self.t1 = t1
@@ -368,6 +370,9 @@ class SteadyWindow:
         self.jobs_in_system = jobs_in_system
         self.utilization = utilization
         self.partial = partial
+        #: Decision-ledger deltas over this window (None = ledger off).
+        self.decisions = decisions
+        self.deferrals = deferrals
 
     @property
     def throughput(self):
@@ -387,6 +392,9 @@ class SteadyWindow:
         }
         if self.utilization is not None:
             out["util"] = round(self.utilization, 6)
+        if self.decisions is not None:
+            out["decisions"] = self.decisions
+            out["deferrals"] = self.deferrals
         if self.partial:
             out["partial"] = True
         return out
@@ -445,6 +453,9 @@ class SteadyStateSink:
         self._system = None
         self._num_cpus = 0
         self._busy_prev = 0.0
+        self._ledger = None
+        self._dec_prev = 0
+        self._def_prev = 0
         self._w_index = 0
         self._w_start = 0.0
         self._w_arrived = 0
@@ -461,6 +472,13 @@ class SteadyStateSink:
         self._system = system
         self._num_cpus = len(system.nodes)
         self._busy_prev = self._busy_time()
+        # Decision-rate columns: snapshot the ledger's O(1) cumulative
+        # totals at each window close; keys are absent (and the stream
+        # byte-identical) when the ledger is off.
+        self._ledger = getattr(system, "decisions", None)
+        if self._ledger is not None:
+            self._dec_prev = self._ledger.total
+            self._def_prev = self._ledger.deferrals
         self._meta = dict(meta)
         if self.log is not None:
             self.log.start({
@@ -501,6 +519,13 @@ class SteadyStateSink:
         util = ((busy - self._busy_prev) / (width * self._num_cpus)
                 if self._num_cpus else None)
         self._busy_prev = busy
+        decisions = deferrals = None
+        led = self._ledger
+        if led is not None:
+            decisions = led.total - self._dec_prev
+            deferrals = led.deferrals - self._def_prev
+            self._dec_prev = led.total
+            self._def_prev = led.deferrals
         win = SteadyWindow(
             self._w_index, self._w_start, end,
             self._w_arrived, self._w_completed,
@@ -509,6 +534,8 @@ class SteadyStateSink:
             self._area / width,
             util,
             partial=partial,
+            decisions=decisions,
+            deferrals=deferrals,
         )
         self.ring.append(win)
         self.windows_emitted += 1

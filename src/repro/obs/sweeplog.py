@@ -26,6 +26,8 @@ import json
 import sys
 import time
 
+from repro.obs.schemas import check_schema
+
 #: Sweep-log schema identifier; bump on incompatible layout changes.
 SCHEMA = "repro-sweep/1"
 
@@ -227,10 +229,12 @@ def read_sweep_log(path_or_lines):
     if not events:
         raise ValueError("sweep log is empty")
     head = events[0]
-    if head["ev"] != "sweep.start" or head.get("schema") != SCHEMA:
+    if head["ev"] != "sweep.start":
         raise ValueError(
             f"sweep log does not start with a {SCHEMA} sweep.start event"
         )
+    check_schema(head.get("schema"), SCHEMA, "sweep log",
+                 where="sweep log line 1")
     return events
 
 

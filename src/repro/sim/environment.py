@@ -156,6 +156,11 @@ class Environment:
         #: ``None`` means telemetry is off; instrumentation sites guard
         #: on it, so recording costs nothing when disabled.
         self.telemetry = None
+        #: Optional :class:`repro.obs.decisions.DecisionLedger` recording
+        #: scheduling choices.  ``None`` means the ledger is off; every
+        #: recording site guards on it (hot components snapshot it at
+        #: construction), so decisions cost nothing when disabled.
+        self.decisions = None
         #: Whether this environment recycles Timeout/Initialize events
         #: (captured from the process-global toggle at construction).
         self._pooling = _POOLING

@@ -131,6 +131,7 @@ class Cpu:
         # then skips the observer calls entirely instead of paying a
         # call + attribute chain per dispatch to find that out.
         self._tel = env.telemetry
+        self._led = env.decisions
         self._overhead = config.context_switch_overhead
         self.stats = CpuStats()
         self._high = deque()
@@ -388,6 +389,11 @@ class Cpu:
             # credited (see _notify_arrival).
             slice_len = req.remaining
             self._slice_interruptible = "extended"
+        led = self._led
+        if led is not None:
+            # Counter tier only: a ring record per slice would blow the
+            # ledger's overhead ceiling on slice-dominated runs.
+            led.tally("cpu", "arm", self._slice_interruptible)
         self._slice_start = env.now
         self._slice_len = slice_len
         timer = env.timeout(slice_len)
@@ -424,6 +430,12 @@ class Cpu:
         stats = self.stats
         stats.busy_time += elapsed
         stats.low_time += elapsed
+        led = self._led
+        if led is not None:
+            led.tally("cpu", "slice",
+                      "preempted" if preempted
+                      else "block_yield" if req.remaining <= _EPS
+                      else "quantum_expiry")
         tel = self._tel
         if elapsed > 0 and tel is not None:
             self._observe_slice(req, self._slice_start, elapsed, "low")
@@ -555,6 +567,9 @@ class Cpu:
             # any arrival interrupts us and we credit the elapsed time.
             slice_len = req.remaining
             self._slice_interruptible = "extended"
+        led = self._led
+        if led is not None:
+            led.tally("cpu", "arm", self._slice_interruptible)
 
         start = env.now
         preempted = False
@@ -574,6 +589,12 @@ class Cpu:
         req.cpu_time += elapsed
         self.stats.busy_time += elapsed
         self.stats.low_time += elapsed
+        led = self._led
+        if led is not None:
+            led.tally("cpu", "slice",
+                      "preempted" if preempted
+                      else "block_yield" if req.remaining <= _EPS
+                      else "quantum_expiry")
         if elapsed > 0 and self._tel is not None:
             self._observe_slice(req, start, elapsed, "low")
         if preempted:

@@ -309,3 +309,31 @@ def test_run_scenarios_parallel_records_both_wall_clocks():
     serial_doc = bench_document([{k: v for k, v in s.items()
                                   if not k.startswith("parallel_")}])
     assert "parallel_speedup" not in serial_doc
+
+
+# -- the decision-ledger overhead pair -----------------------------------
+def test_run_decision_pair_records_real_overheads(tmp_path):
+    from repro.experiments.bench_json import run_decision_pair
+
+    pair = run_decision_pair(scale_name="smoke", figure=6)
+    assert pair["figure"] == 6
+    assert pair["off_normalised_wall"] > 0
+    assert pair["on_normalised_wall"] > 0
+    assert pair["overhead_ratio"] > 0
+    assert pair["decisions"] > 0 and pair["deferrals"] >= 0
+    doc = bench_document([_scenario()], decision_ledger=pair)
+    path = write_bench(doc, tmp_path / "BENCH_pair.json")
+    assert load_bench(path)["decision_ledger"] == pair
+
+
+def test_decision_ledger_section_is_optional_and_checked(tmp_path):
+    doc = _doc()
+    assert "decision_ledger" not in doc  # optional: absent by default
+    path = tmp_path / "BENCH_plain.json"
+    path.write_text(json.dumps(doc))
+    load_bench(path)
+    doc["decision_ledger"] = {"figure": 4}  # missing the other keys
+    bad = tmp_path / "BENCH_badpair.json"
+    bad.write_text(json.dumps(doc))
+    with pytest.raises(ValueError, match="decision_ledger"):
+        load_bench(bad)

@@ -98,8 +98,9 @@ def test_read_sweep_log_rejects_malformed_streams(tmp_path):
         read_sweep_log(['{"schema": "repro-sweep/1"}'])
     with pytest.raises(ValueError, match="sweep.start"):
         read_sweep_log(['{"ev": "cell.finish"}'])
-    # Wrong schema version on the start event is rejected too.
-    with pytest.raises(ValueError, match="sweep.start"):
+    # Wrong schema version on the start event is rejected too, with the
+    # registry's uniform wrong-schema message.
+    with pytest.raises(ValueError, match="unsupported sweep log schema"):
         read_sweep_log([json.dumps({"ev": "sweep.start",
                                     "schema": "repro-sweep/999"})])
     # And the path form works.
